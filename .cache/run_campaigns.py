@@ -1,0 +1,10 @@
+"""Precompute default-scale campaigns (cached as JSON)."""
+import sys, time
+from repro.experiments.campaigns import get_campaign
+from repro.experiments.scale import DEFAULT
+
+t0 = time.perf_counter()
+for scenario in ("A", "B"):
+    get_campaign(scenario, DEFAULT, progress=lambda m: print(m, flush=True))
+    print(f"== scenario {scenario} done at {time.perf_counter()-t0:.0f}s", flush=True)
+print("ALL CAMPAIGNS DONE", flush=True)

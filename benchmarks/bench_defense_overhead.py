@@ -1,0 +1,120 @@
+"""Extension bench: conventional defenses — overhead and coverage.
+
+Quantifies Section III.D's argument with measurements:
+
+- per-packet cost of Secure ITP sealing/verification and BITW
+  encryption/decryption, against the 1 ms real-time budget;
+- per-scan cost of remote attestation;
+- a coverage matrix: which defense stops which attack.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks.injection import DacOffsetInjection, UserInputInjection
+from repro.control.state_machine import RobotState
+from repro.core.attestation import AttestationMonitor
+from repro.experiments.report import format_table
+from repro.hw.bitw import BitwDecryptor, BitwEncryptor
+from repro.hw.usb_packet import encode_command_packet
+from repro.sysmodel.linker import DynamicLinker, SystemEnvironment
+from repro.teleop.itp import ItpPacket
+from repro.teleop.secure_itp import (
+    AuthenticationError,
+    SecureItpReceiver,
+    SecureItpSender,
+)
+
+KEY = b"benchmark-key-32-bytes-xxxxyyyyz"
+
+
+def test_secure_itp_seal(benchmark):
+    sender = SecureItpSender(KEY)
+    packet = ItpPacket(0, True, np.array([1e-4, 0, 0]))
+    sealed = benchmark(sender.seal, packet)
+    assert len(sealed) == 56
+
+
+def test_secure_itp_verify(benchmark):
+    sender = SecureItpSender(KEY)
+    sealed_packets = [
+        sender.seal(ItpPacket(i, True, np.zeros(3))) for i in range(100000)
+    ]
+    state = {"i": 0}
+    receiver = SecureItpReceiver(KEY)
+
+    def verify():
+        receiver.open(sealed_packets[state["i"]])
+        state["i"] += 1
+
+    benchmark.pedantic(verify, rounds=2000, iterations=1)
+
+
+def test_bitw_seal_open(benchmark):
+    enc = BitwEncryptor(KEY)
+    dec = BitwDecryptor(KEY)
+    frame = encode_command_packet(RobotState.PEDAL_DOWN, True, [100, -50, 25])
+
+    def roundtrip():
+        dec._last_counter = None  # isolate crypto cost from replay state
+        return dec.open(enc.seal(frame))
+
+    out = benchmark(roundtrip)
+    assert out == frame
+
+
+def test_attestation_scan(benchmark):
+    env = SystemEnvironment()
+    process = DynamicLinker(env).spawn("r2_control")
+    monitor = AttestationMonitor(process, env)
+    monitor.enroll()
+    report = benchmark(monitor.scan)
+    assert report.trusted
+
+
+def test_defense_coverage_matrix(artifact_writer, benchmark):
+    """Which defense stops which attack (the Section III.D argument)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    # Secure ITP vs wire tamper.
+    sender, receiver = SecureItpSender(KEY), SecureItpReceiver(KEY)
+    tampered = bytearray(sender.seal(ItpPacket(0, True, np.zeros(3))))
+    tampered[12] ^= 0x80
+    try:
+        receiver.open(bytes(tampered))
+        secure_itp_stops_wire = False
+    except AuthenticationError:
+        secure_itp_stops_wire = True
+
+    # Secure ITP vs scenario A (in-host, post-authentication).
+    receiver.reset()
+    authentic = receiver.open(sender.seal(ItpPacket(1, True, np.zeros(3))))
+    corrupted = UserInputInjection(error_m=1e-3, direction=[1, 0, 0]).apply(
+        authentic
+    )
+    secure_itp_stops_a = not corrupted.dpos[0] > 0
+
+    # BITW vs scenario B (wrapper output is sealed like honest traffic).
+    enc, dec = BitwEncryptor(KEY), BitwDecryptor(KEY)
+    packet = encode_command_packet(RobotState.PEDAL_DOWN, True, [100, 0, 0])
+    wrapped = DacOffsetInjection(8000).apply(packet)
+    delivered = dec.open(enc.seal(wrapped))
+    bitw_stops_b = delivered != wrapped
+
+    rows = [
+        ["Secure ITP", "wire MITM", "yes" if secure_itp_stops_wire else "NO"],
+        ["Secure ITP", "scenario A (in-host)", "yes" if secure_itp_stops_a else "NO"],
+        ["BITW encryption", "wire tamper", "yes"],
+        ["BITW encryption", "scenario B (in-host)", "yes" if bitw_stops_b else "NO"],
+        ["attestation", "preloaded malware", "yes (next scan only)"],
+        ["attestation", "TOCTOU window", "NO"],
+        ["dynamic model", "scenario A", "yes (see Table IV)"],
+        ["dynamic model", "scenario B", "yes (see Table IV)"],
+    ]
+    artifact_writer(
+        "defense_coverage",
+        format_table(["defense", "attack", "stopped?"], rows),
+    )
+    assert secure_itp_stops_wire
+    assert not secure_itp_stops_a
+    assert not bitw_stops_b

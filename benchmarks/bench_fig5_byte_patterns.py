@@ -1,0 +1,38 @@
+"""Figure 5: USB packet byte patterns over one eavesdropped run.
+
+Regenerates the paper's per-byte analysis: Byte 0 takes 8 raw values that
+collapse to the 4 operational states once the periodic watchdog bit
+(bit 4) is removed, while the DAC bytes switch among many values.  The
+benchmark measures the attacker's byte-pattern analysis itself.
+"""
+
+from repro import constants
+from repro.attacks.analysis import byte_value_series, infer_state_byte
+from repro.experiments.fig5 import capture_run, format_results, run_fig5
+
+
+def test_fig5_artifact(artifact_writer, scale, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    result = run_fig5(seed=0, duration_s=scale.capture_duration_s)
+    artifact_writer("fig5_byte_patterns", format_results(result))
+
+    # Paper shapes: Byte 0 is the state byte, 8 raw values -> 4 masked,
+    # watchdog in bit 4, state sequence starts at E-STOP and reaches
+    # Pedal Down.
+    assert result.state_byte == constants.USB_STATE_BYTE
+    assert result.watchdog_bit == constants.USB_WATCHDOG_BIT
+    assert len(result.raw_state_values) == 8
+    assert len(result.masked_state_values) == 4
+    names = [name for _s, _e, name in result.segments]
+    assert names[0] == "E-STOP"
+    assert "Pedal Down" in names
+    # DAC bytes are many-valued compared to the state byte (Figure 5(b)).
+    assert max(result.cardinalities[1:7]) > 4 * result.cardinalities[0]
+
+
+def test_analysis_speed(benchmark, scale):
+    """How fast the attacker's state-byte inference runs on one capture."""
+    packets = capture_run(seed=1, duration_s=scale.capture_duration_s)
+    series = byte_value_series(packets)
+    inference = benchmark(infer_state_byte, series)
+    assert inference.byte_index == constants.USB_STATE_BYTE

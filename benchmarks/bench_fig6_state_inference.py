@@ -1,0 +1,38 @@
+"""Figure 6: Byte 0 across multiple runs — cross-run state inference.
+
+The paper shows nine runs whose state sequences are all recoverable from
+Byte 0.  This benchmark captures ``scale.capture_runs`` varied sessions,
+infers each run's state sequence, and checks the attacker's cross-run
+conclusion (the deployment trigger).
+"""
+
+from repro import constants
+from repro.experiments.fig6 import format_results, run_fig6
+
+
+def test_fig6_artifact(artifact_writer, scale, benchmark):
+    result = benchmark.pedantic(
+        run_fig6,
+        kwargs={
+            "runs": scale.capture_runs,
+            "duration_s": scale.capture_duration_s,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    artifact_writer("fig6_state_inference", format_results(result))
+
+    conclusion = result.conclusion
+    assert conclusion.state_byte == constants.USB_STATE_BYTE
+    assert conclusion.watchdog_bit == constants.USB_WATCHDOG_BIT
+    expected_trigger = {
+        constants.STATE_BYTE_PEDAL_DOWN,
+        constants.STATE_BYTE_PEDAL_DOWN | (1 << constants.USB_WATCHDOG_BIT),
+    }
+    assert set(conclusion.pedal_down_raw_values) == expected_trigger
+
+    # Every run's sequence starts from E-STOP and passes through the
+    # full startup chain, exactly as in the paper's nine subplots.
+    for segments in result.per_run_segments:
+        names = [name for _s, _e, name in segments]
+        assert names[:4] == ["E-STOP", "Init", "Pedal Up", "Pedal Down"]

@@ -1,0 +1,53 @@
+"""Table I: attack variants on the robot control structure.
+
+Runs one representative attack per Table I row and checks the observed
+impact matches the paper's column:
+
+- socket/port change -> teleoperation unavailable;
+- socket/content change -> hijacked trajectory;
+- math-library drift -> unwanted state (IK failure);
+- PLC state corruption -> homing failure;
+- motor-command corruption -> abrupt jump / E-STOP;
+- encoder-feedback corruption -> abrupt jump / E-STOP.
+"""
+
+import pytest
+
+from repro.experiments.table1 import format_results, run_table1
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    return run_table1(seed=7, duration_s=1.8)
+
+
+def test_table1_artifact(artifact_writer, outcomes, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    artifact_writer("table1_attack_variants", format_results(outcomes))
+
+
+def test_table1_impacts_match_paper(outcomes, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    by_variant = {o.variant: o.impact for o in outcomes}
+    assert "never engages" in by_variant["socket: change port"]
+    assert "hijacked" in by_variant["socket: change packet content"]
+    assert "IK failure" in by_variant["math: add drift to sin/cos"]
+    assert "homing failure" in by_variant["interface: change robot state in PLC"]
+    assert "abrupt jump" in by_variant["physical: change motor commands"]
+    assert "abrupt jump" in by_variant["physical: change encoder feedback"]
+
+
+def test_variant_run_cost(benchmark):
+    """Wall-clock cost of one full variant run (socket drop, shortest)."""
+    from repro.attacks.variants import build_socket_drop_library
+    from repro.sim.rig import RigConfig, SurgicalRig
+
+    def run_once():
+        rig = SurgicalRig(
+            RigConfig(seed=7, duration_s=0.8),
+            preload_libraries=[build_socket_drop_library()],
+        )
+        return rig.run()
+
+    trace = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    assert trace.pedal_down_fraction() == 0.0

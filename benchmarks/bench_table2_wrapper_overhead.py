@@ -1,0 +1,57 @@
+"""Table II: performance overhead of the malicious system-call wrappers.
+
+Measures the execution time of the ``write`` system call in the control
+process — baseline, with the logging wrapper (packet capture + loopback-UDP
+exfiltration), and with the injection wrapper (state check + byte
+overwrite) — using pytest-benchmark for the per-configuration numbers and
+the experiment driver for the paper-style min/max/mean/std table.
+
+Paper reference (microseconds): baseline mean 1.3; logging mean 20.0
+(+18.7); injection mean 3.6 (+2.3).  The shape under test: logging costs
+several times more than injection, and both stay far below the 1 ms
+real-time budget.
+"""
+
+import pytest
+
+from repro.experiments.table2 import (
+    _pedal_down_packet,
+    build_configurations,
+    format_results,
+    run_table2,
+)
+
+
+@pytest.fixture(scope="module")
+def configurations():
+    return build_configurations()
+
+
+@pytest.fixture(scope="module")
+def packet():
+    return _pedal_down_packet()
+
+
+@pytest.mark.parametrize("name", ["baseline", "logging", "injection"])
+def test_write_syscall(benchmark, configurations, packet, name):
+    """Per-configuration write() latency (pytest-benchmark)."""
+    process, fd = configurations[name]
+    benchmark(process.write, fd, packet)
+
+
+def test_table2_artifact(artifact_writer, scale, benchmark):
+    """Regenerate Table II at the configured sample count."""
+    rows = benchmark.pedantic(
+        run_table2, kwargs={"samples": scale.syscall_samples}, rounds=1,
+        iterations=1,
+    )
+    artifact_writer("table2_wrapper_overhead", format_results(rows))
+
+    by_name = {r.name: r for r in rows}
+    base = by_name["baseline"].mean_us
+    logging_overhead = by_name["logging"].mean_us - base
+    injection_overhead = by_name["injection"].mean_us - base
+    # Paper shape: logging costs more than injection; both << 1 ms.
+    assert logging_overhead > injection_overhead
+    assert by_name["logging"].mean_us < 1000.0
+    assert by_name["injection"].mean_us < 1000.0

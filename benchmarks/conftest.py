@@ -1,0 +1,48 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  Expensive
+inputs (calibrated thresholds, campaign outcomes) are computed once per
+scale preset and cached under ``.cache/``; each benchmark also writes its
+regenerated artifact to ``results/<name>.txt`` so the numbers survive the
+run.
+
+Scale control: set ``REPRO_SCALE=smoke|default|paper`` (see
+``repro.experiments.scale``).  ``paper`` reproduces the paper's full run
+counts and takes hours; ``default`` preserves the shapes in minutes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.calibration import get_thresholds
+from repro.experiments.scale import current_scale
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """The selected experiment scale."""
+    return current_scale()
+
+
+@pytest.fixture(scope="session")
+def thresholds(scale):
+    """Calibrated detector thresholds (cached per scale)."""
+    return get_thresholds(scale)
+
+
+@pytest.fixture(scope="session")
+def artifact_writer():
+    """Write a regenerated artifact to results/ and echo it."""
+
+    def write(name: str, content: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(content + "\n")
+        print(f"\n----- {name} -----\n{content}\n")
+
+    return write

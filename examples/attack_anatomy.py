@@ -1,0 +1,126 @@
+"""Anatomy of the targeted attack — all three phases, end to end.
+
+Reproduces Section III of the paper against the simulated RAVEN II:
+
+Phase 1 — Attack Preparation: a malicious shared library is added to the
+    surgeon account's LD_PRELOAD; new control-software processes link its
+    ``write`` wrapper, which captures every USB packet and forwards it to
+    the attacker over (loopback) UDP.
+
+Phase 2 — Offline Analysis: the attacker, who does not know the USB packet
+    format, studies the captures byte by byte (Figure 5), finds the
+    periodically toggling watchdog bit, identifies Byte 0 as the state
+    byte, and maps its values onto the publicly documented state machine
+    across several runs (Figure 6).
+
+Phase 3 — Deployment: the wrapper is swapped for an injector keyed on the
+    recovered Pedal-Down byte values.  Mid-"surgery", it corrupts the
+    motor commands after the software safety checks — the arm jumps and
+    the robot crashes to E-STOP.
+
+Usage:  python examples/attack_anatomy.py
+"""
+
+import numpy as np
+
+from repro import constants
+from repro.attacks.analysis import (
+    OfflineAnalysis,
+    byte_cardinalities,
+    byte_value_series,
+)
+from repro.attacks.eavesdrop import EavesdropLogger, build_eavesdropper_library
+from repro.attacks.injection import DacOffsetInjection, build_scenario_b_library
+from repro.attacks.malware import PedalDownTrigger
+from repro.sim.rig import RigConfig, SurgicalRig
+from repro.sim.runner import run_fault_free
+from repro.teleop.network import LoopbackExfiltration
+
+
+def phase1_eavesdrop(runs: int = 5, duration_s: float = 1.6):
+    """Capture several surgical sessions with the preloaded library."""
+    print("=== Phase 1: Attack Preparation (eavesdropping) ===")
+    sink = LoopbackExfiltration()
+    captures = []
+    try:
+        for i in range(runs):
+            logger = EavesdropLogger()
+            library, _ = build_eavesdropper_library(logger, sink=sink)
+            config = RigConfig(
+                seed=100 + i,
+                duration_s=duration_s,
+                trajectory_name=("circle", "figure8", "suturing")[i % 3],
+                pedal_release_s=duration_s * 0.85 if i % 2 else None,
+            )
+            SurgicalRig(config, preload_libraries=[library]).run()
+            captures.append(logger.command_packets())
+            print(f"  run {i}: captured {len(captures[-1])} USB packets, "
+                  f"exfiltrated {sink.sent} datagrams so far")
+    finally:
+        sink.close()
+    return captures
+
+
+def phase2_analyze(captures):
+    """Byte-by-byte analysis of the captures (Figures 5-6)."""
+    print("\n=== Phase 2: Offline Analysis ===")
+    series = byte_value_series(captures[0])
+    cards = byte_cardinalities(series)
+    print("  per-byte distinct values (run 0):")
+    print("   ", " ".join(f"B{i}:{c}" for i, c in enumerate(cards)))
+
+    analysis = OfflineAnalysis()
+    for packets in captures:
+        analysis.add_run(packets)
+    conclusion = analysis.conclude()
+    print(f"  -> Byte {conclusion.state_byte} switches among few values "
+          f"in long steps: the state byte")
+    print(f"  -> bit {conclusion.watchdog_bit} of it toggles periodically: "
+          f"the watchdog square wave")
+    print("  -> matching value order against the public state machine:")
+    for value, name in sorted(conclusion.value_to_state.items()):
+        print(f"       0x{value:02X} = {name}")
+    trigger_values = sorted(conclusion.pedal_down_raw_values)
+    print(f"  -> TRIGGER: attack when Byte {conclusion.state_byte} is "
+          + " or ".join(f"0x{v:02X}" for v in trigger_values))
+    return conclusion
+
+
+def phase3_deploy(conclusion, duration_s: float = 1.6):
+    """Deploy the injector built from the analysis and show the damage."""
+    print("\n=== Phase 3: Deployment ===")
+    seed = 200
+    reference = run_fault_free(seed=seed, duration_s=duration_s)
+
+    trigger = PedalDownTrigger(
+        trigger_values=conclusion.pedal_down_raw_values,
+        delay_cycles=300,       # strike mid-procedure
+        duration_cycles=64,     # 64 ms burst
+    )
+    payload = DacOffsetInjection(offset_counts=26000, channel=0)
+    malware = build_scenario_b_library(trigger, payload)
+
+    config = RigConfig(seed=seed, duration_s=duration_s)
+    rig = SurgicalRig(config, preload_libraries=[malware])
+    trace = rig.run()
+
+    deviation = trace.max_deviation_from(reference)
+    print(f"  malware activated at cycle {trigger.first_active_cycle} "
+          f"(robot engaged, instruments 'inside the patient')")
+    print(f"  packets corrupted: {trigger.activations}")
+    print(f"  tool-tip deviation from surgeon intent: {deviation * 1e3:.2f} mm")
+    print(f"  abrupt 10 ms jump: {trace.max_jump(10e-3) * 1e3:.2f} mm")
+    print(f"  robot outcome: "
+          f"{trace.estop_reasons or 'no E-STOP (attack under the radar)'}")
+    print("\n  The software safety checks ran BEFORE the write() call — the "
+          "corrupted packet sailed through the USB board unverified (TOCTOU).")
+
+
+def main() -> None:
+    captures = phase1_eavesdrop()
+    conclusion = phase2_analyze(captures)
+    phase3_deploy(conclusion)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,161 @@
+"""Why the paper's attack defeats conventional defenses — and how the
+dynamic model closes the gap.
+
+Section III.D argues that traditional countermeasures — encrypted links,
+authenticated protocols, remote software attestation — either cost too
+much of the 1 ms budget or leave the TOCTOU window open.  This example
+runs each defense against the relevant attack:
+
+1. Secure ITP (HMAC-authenticated console traffic)
+     vs a wire MITM        -> STOPS it (forged datagrams rejected)
+     vs scenario A malware -> DOES NOT (modifies after authentication)
+2. Bump-in-the-wire encryption on the USB link
+     vs a wire tamperer    -> STOPS it (frames fail integrity)
+     vs scenario B malware -> DOES NOT (wrapper runs before encryption)
+3. Remote software attestation
+     detects the preloaded library — but only at the next periodic scan,
+     leaving a window of ~one period of 1 ms control cycles
+4. The dynamic-model detector
+     catches the *physical consequence* of the commands regardless of
+     where in the stack they were forged — within ~1-2 cycles.
+
+Usage:  python examples/defense_comparison.py
+"""
+
+import numpy as np
+
+from repro.attacks.eavesdrop import EavesdropLogger, build_eavesdropper_library
+from repro.attacks.injection import DacOffsetInjection, UserInputInjection
+from repro.attacks.network import make_mitm_adversary
+from repro.control.state_machine import RobotState
+from repro.core.attestation import AttestationMonitor
+from repro.core.mitigation import MitigationStrategy
+from repro.hw.bitw import BitwProtectedDevice
+from repro.hw.usb_packet import encode_command_packet
+from repro.sim.runner import make_detector_guard, run_scenario_b, train_thresholds
+from repro.sysmodel.linker import DynamicLinker, SystemEnvironment
+from repro.teleop.itp import ItpPacket, encode_itp
+from repro.teleop.secure_itp import (
+    AuthenticationError,
+    SecureItpReceiver,
+    SecureItpSender,
+)
+
+KEY = b"session-key-32-bytes-aaaabbbbccc"
+
+
+def demo_secure_itp() -> None:
+    print("=== 1. Secure ITP (authenticated console traffic) ===")
+    sender = SecureItpSender(KEY)
+    receiver = SecureItpReceiver(KEY)
+
+    # Wire MITM: can only corrupt bytes blindly -> rejected.
+    sealed = bytearray(sender.seal(ItpPacket(0, True, np.zeros(3))))
+    sealed[10] ^= 0xFF
+    try:
+        receiver.open(bytes(sealed))
+        print("  wire MITM: forged packet ACCEPTED (defense failed!)")
+    except AuthenticationError:
+        print("  wire MITM: forged packet rejected  -> defense WORKS")
+
+    # Scenario A: the wrapper modifies the packet after authentication.
+    receiver.reset()
+    authentic = receiver.open(sender.seal(ItpPacket(1, True, np.zeros(3))))
+    malware = UserInputInjection(error_m=1e-3, direction=[1, 0, 0])
+    corrupted = malware.apply(authentic)
+    print(f"  scenario A: increment after in-host malware = "
+          f"{corrupted.dpos[0] * 1e3:.1f} mm  -> defense BYPASSED (TOCTOU)")
+
+
+def demo_bitw() -> None:
+    print("\n=== 2. Bump-in-the-wire USB encryption ===")
+
+    class Latch:
+        dac0 = 0
+
+        def fd_write(self, data):
+            from repro.hw.usb_packet import decode_command_packet
+
+            Latch.dac0 = decode_command_packet(data).dac_values[0]
+            return len(data)
+
+        def fd_read(self, n):
+            return b"\x00" * n
+
+    # Wire tamperer between the boxes: frame dropped.
+    def flip(sealed: bytes) -> bytes:
+        buf = bytearray(sealed)
+        buf[7] ^= 0x20
+        return bytes(buf)
+
+    protected = BitwProtectedDevice(Latch(), KEY, wire_tamper=flip)
+    protected.fd_write(
+        encode_command_packet(RobotState.PEDAL_DOWN, True, [9000, 0, 0])
+    )
+    print(f"  wire tamperer: frames rejected = {protected.rejected_writes}, "
+          f"executed DAC = {Latch.dac0}  -> defense WORKS")
+
+    # Scenario B: wrapper output enters the encryptor as plaintext.
+    protected = BitwProtectedDevice(Latch(), KEY)
+    packet = encode_command_packet(RobotState.PEDAL_DOWN, True, [100, 0, 0])
+    corrupted = DacOffsetInjection(8000, channel=0).apply(packet)
+    protected.fd_write(corrupted)
+    print(f"  scenario B malware: executed DAC = {Latch.dac0} "
+          f"(injected 8000)  -> defense BYPASSED")
+    print(f"  added latency per write: "
+          f"{protected.round_trip_latency_s * 1e6:.0f} us of the 1000 us budget")
+
+
+def demo_attestation() -> None:
+    print("\n=== 3. Remote software attestation ===")
+    env = SystemEnvironment()
+    linker = DynamicLinker(env)
+    process = linker.spawn("r2_control", user="surgeon")
+    monitor = AttestationMonitor(process, env, period_cycles=1000)
+    monitor.enroll()
+
+    for _ in range(1000):
+        monitor.tick()
+    library, _ = build_eavesdropper_library(EavesdropLogger())
+    env.set_user_preload("surgeon", library)
+    process.relink(linker)
+    infection_cycle = 1001
+    for _ in range(1100):
+        monitor.tick()
+
+    latency = monitor.detection_latency_cycles(infection_cycle)
+    print(f"  malware installed at cycle {infection_cycle}")
+    print(f"  attestation flagged it {latency} control cycles later "
+          f"(next periodic scan)")
+    print(f"  -> {latency} one-millisecond TOCTOU windows in which the "
+          f"malware was free to act")
+
+
+def demo_dynamic_model() -> None:
+    print("\n=== 4. Dynamic-model detector (the paper's defense) ===")
+    thresholds = train_thresholds(num_runs=6, duration_s=1.2)
+    guard = make_detector_guard(
+        thresholds, strategy=MitigationStrategy.BLOCK_AND_ESTOP
+    )
+    result = run_scenario_b(
+        seed=88, error_dac=26000, period_ms=64, duration_s=1.4, guard=guard,
+        attack_delay_cycles=300,
+    )
+    latency = guard.stats.first_alert_cycle - result.trace.attack_first_cycle
+    print(f"  scenario B attack detected {latency} ms after the first "
+          f"corrupted packet; command blocked, robot E-STOPped")
+    print(f"  jump with protection: "
+          f"{result.trace.max_jump(10e-3) * 1e3:.2f} mm (< 1 mm limit)")
+    print("  -> the detector judges commands by their PHYSICAL consequence,"
+          "\n     so it does not matter where in the stack they were forged.")
+
+
+def main() -> None:
+    demo_secure_itp()
+    demo_bitw()
+    demo_attestation()
+    demo_dynamic_model()
+
+
+if __name__ == "__main__":
+    main()

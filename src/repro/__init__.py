@@ -1,0 +1,31 @@
+"""repro — reproduction of "Targeted Attacks on Teleoperated Surgical
+Robots: Dynamic Model-Based Detection and Mitigation" (DSN 2016).
+
+The package contains a complete simulated RAVEN II surgical-robot stack
+(kinematics, dynamics, control software, USB/PLC hardware, teleoperation),
+a simulated Linux syscall/dynamic-linking layer, the paper's three-phase
+targeted attack (eavesdrop -> offline analysis -> triggered injection),
+and the paper's contribution: a real-time dynamic model-based anomaly
+detector that estimates the physical consequence of every motor command
+before it executes.
+
+Quick start::
+
+    from repro.sim import run_fault_free, train_thresholds
+    from repro.sim.runner import make_detector_guard, run_scenario_b
+    from repro.core import MitigationStrategy
+
+    thresholds = train_thresholds(num_runs=20)
+    guard = make_detector_guard(thresholds, MitigationStrategy.BLOCK_AND_ESTOP)
+    result = run_scenario_b(seed=0, error_dac=18000, period_ms=64, guard=guard)
+    print(guard.stats.alerted, result.trace.max_jump())
+
+See ``examples/`` for complete scenarios and ``DESIGN.md`` for the system
+inventory.
+"""
+
+from repro import constants, errors
+
+__version__ = "1.0.0"
+
+__all__ = ["constants", "errors", "__version__"]

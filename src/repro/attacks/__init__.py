@@ -1,0 +1,53 @@
+"""Attack framework: the three-phase targeted attack of Section III.
+
+- *Attack-Preparation phase*: a malicious shared library, preloaded via the
+  LD_PRELOAD mechanism, wraps the ``write`` system call to eavesdrop on the
+  USB packets and exfiltrate them (:mod:`repro.attacks.eavesdrop`).
+- *Offline Analysis phase*: byte-pattern analysis of the captured packets
+  recovers the watchdog bit and the state byte, and maps byte values to the
+  operational state machine (:mod:`repro.attacks.analysis` — Figures 5-6).
+- *Deployment phase*: the wrapper is modified to inject malicious commands
+  when Byte 0 indicates Pedal Down (:mod:`repro.attacks.injection` —
+  scenarios A and B), or one of the Table I variants
+  (:mod:`repro.attacks.variants`).
+
+:mod:`repro.attacks.campaign` sweeps injected error values and activation
+periods to regenerate Table IV and Figure 9.
+"""
+
+from repro.attacks.malware import PedalDownTrigger
+from repro.attacks.eavesdrop import EavesdropLogger, build_eavesdropper_library
+from repro.attacks.analysis import (
+    OfflineAnalysis,
+    byte_cardinalities,
+    byte_value_series,
+    find_watchdog_bit,
+    infer_state_byte,
+    infer_state_sequence,
+)
+from repro.attacks.injection import (
+    AttackRecord,
+    ByteCorruptionInjection,
+    DacOffsetInjection,
+    UserInputInjection,
+    build_scenario_a_library,
+    build_scenario_b_library,
+)
+
+__all__ = [
+    "AttackRecord",
+    "ByteCorruptionInjection",
+    "DacOffsetInjection",
+    "EavesdropLogger",
+    "OfflineAnalysis",
+    "PedalDownTrigger",
+    "UserInputInjection",
+    "build_eavesdropper_library",
+    "build_scenario_a_library",
+    "build_scenario_b_library",
+    "byte_cardinalities",
+    "byte_value_series",
+    "find_watchdog_bit",
+    "infer_state_byte",
+    "infer_state_sequence",
+]

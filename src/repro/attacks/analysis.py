@@ -1,0 +1,253 @@
+"""Offline Analysis phase: mining robot state from captured USB packets.
+
+Reproduces Section III.B.2 of the paper.  The attacker does not know the
+USB packet format, so the analysis "looks at the values of the packets byte
+by byte over time to see whether there are patterns indicating a specific
+byte that may contain the state information":
+
+1. per-byte value series and cardinalities (Figure 5);
+2. discovery of a periodically toggling bit — the watchdog square wave —
+   inside the low-cardinality byte;
+3. after removing that bit, a byte switching among 4 values in long steps
+   is matched against the publicly known 4-state operational state machine
+   (Figure 6), ordering states by first appearance
+   (E-STOP -> Init -> Pedal Up -> Pedal Down);
+4. the raw byte values meaning "Pedal Down" (both watchdog phases) become
+   the deployment-phase trigger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import AttackConfigError
+
+#: The publicly documented state order during a teleoperation session.
+STATE_ORDER = ("E-STOP", "Init", "Pedal Up", "Pedal Down")
+
+
+def byte_value_series(packets: Sequence[bytes]) -> np.ndarray:
+    """Stack packets into an (n_packets, packet_len) uint8 array.
+
+    Raises
+    ------
+    AttackConfigError
+        If the capture is empty or packets have inconsistent lengths.
+    """
+    if not packets:
+        raise AttackConfigError("no packets captured")
+    lengths = {len(p) for p in packets}
+    if len(lengths) != 1:
+        raise AttackConfigError(f"inconsistent packet lengths: {sorted(lengths)}")
+    return np.frombuffer(b"".join(packets), dtype=np.uint8).reshape(
+        len(packets), lengths.pop()
+    )
+
+
+def byte_cardinalities(series: np.ndarray) -> List[int]:
+    """Number of distinct values each byte position takes."""
+    return [int(len(np.unique(series[:, i]))) for i in range(series.shape[1])]
+
+
+def _bit_series(series: np.ndarray, byte_index: int, bit: int) -> np.ndarray:
+    return (series[:, byte_index] >> bit) & 1
+
+
+def find_watchdog_bit(
+    series: np.ndarray,
+    byte_index: int,
+    min_edges: int = 8,
+    max_interval_cv: float = 0.25,
+) -> Optional[int]:
+    """Find a bit of ``byte_index`` that toggles like a square wave.
+
+    A watchdog bit shows many edges at near-constant intervals.  Returns
+    the bit index, or None if no bit looks periodic.
+
+    Parameters
+    ----------
+    min_edges:
+        Minimum number of level changes to call a bit periodic.
+    max_interval_cv:
+        Maximum coefficient of variation of the edge intervals.
+    """
+    best_bit = None
+    best_cv = np.inf
+    for bit in range(8):
+        levels = _bit_series(series, byte_index, bit)
+        edges = np.nonzero(np.diff(levels.astype(np.int8)) != 0)[0]
+        if len(edges) < min_edges:
+            continue
+        intervals = np.diff(edges)
+        if len(intervals) == 0:
+            continue
+        mean = float(np.mean(intervals))
+        if mean <= 0:
+            continue
+        cv = float(np.std(intervals)) / mean
+        if cv < best_cv and cv <= max_interval_cv:
+            best_cv = cv
+            best_bit = bit
+    return best_bit
+
+
+@dataclass(frozen=True)
+class StateByteInference:
+    """Result of the state-byte search."""
+
+    byte_index: int
+    watchdog_bit: Optional[int]
+    masked_values: Tuple[int, ...]
+    raw_cardinality: int
+    transitions: int
+
+
+def infer_state_byte(
+    series: np.ndarray,
+    max_states: int = 6,
+    exclude: Sequence[int] = (),
+) -> StateByteInference:
+    """Find the byte most likely to carry the operational state.
+
+    Heuristic, as in the paper: among bytes that are neither constant nor
+    high-cardinality, remove a periodic (watchdog) bit if one exists, and
+    prefer the byte whose masked value has a small alphabet (the 4 states)
+    and *step-like* behaviour — few transitions relative to series length.
+
+    Raises
+    ------
+    AttackConfigError
+        If no byte qualifies.
+    """
+    n, width = series.shape
+    best: Optional[StateByteInference] = None
+    best_score = np.inf
+    for index in range(width):
+        if index in exclude:
+            continue
+        raw_card = len(np.unique(series[:, index]))
+        if raw_card < 2 or raw_card > 2 * max_states:
+            continue
+        wd_bit = find_watchdog_bit(series, index)
+        values = series[:, index].astype(int)
+        if wd_bit is not None:
+            values = values & ~(1 << wd_bit)
+        masked_unique = np.unique(values)
+        if not (2 <= len(masked_unique) <= max_states):
+            continue
+        transitions = int(np.count_nonzero(np.diff(values) != 0))
+        # Step-like: each distinct value should persist for long stretches.
+        score = transitions / n + 0.01 * len(masked_unique)
+        if score < best_score:
+            best_score = score
+            best = StateByteInference(
+                byte_index=index,
+                watchdog_bit=wd_bit,
+                masked_values=tuple(int(v) for v in masked_unique),
+                raw_cardinality=raw_card,
+                transitions=transitions,
+            )
+    if best is None:
+        raise AttackConfigError("no byte matches the state-byte pattern")
+    return best
+
+
+def infer_state_sequence(
+    series: np.ndarray, byte_index: int, watchdog_bit: Optional[int]
+) -> Tuple[Dict[int, str], List[Tuple[int, int, str]]]:
+    """Label masked byte values with state names by order of appearance.
+
+    Returns ``(value -> state name, segments)`` where each segment is
+    ``(start_packet, end_packet_exclusive, state_name)``.
+    """
+    values = series[:, byte_index].astype(int)
+    if watchdog_bit is not None:
+        values = values & ~(1 << watchdog_bit)
+    mapping: Dict[int, str] = {}
+    for value in values:
+        if int(value) not in mapping:
+            if len(mapping) >= len(STATE_ORDER):
+                break
+            mapping[int(value)] = STATE_ORDER[len(mapping)]
+    segments: List[Tuple[int, int, str]] = []
+    start = 0
+    for i in range(1, len(values) + 1):
+        if i == len(values) or values[i] != values[start]:
+            name = mapping.get(int(values[start]), "?")
+            segments.append((start, i, name))
+            start = i
+    return mapping, segments
+
+
+@dataclass
+class OfflineAnalysis:
+    """Multi-run analysis orchestration (the attacker's notebook).
+
+    Feed it the captured command packets of several runs (the paper uses
+    nine; see Figure 6), then read off the conclusion: which byte carries
+    the state, which bit is the watchdog, and which raw byte values mean
+    Pedal Down.
+    """
+
+    runs: List[np.ndarray] = field(default_factory=list)
+
+    def add_run(self, packets: Sequence[bytes]) -> None:
+        """Add one run's captured command packets."""
+        self.runs.append(byte_value_series(packets))
+
+    def conclude(self) -> "AnalysisConclusion":
+        """Combine the per-run inferences into a single conclusion.
+
+        Majority vote across runs on the state byte and the watchdog bit;
+        the Pedal-Down raw values are the masked value of the final state
+        (last to appear) with the watchdog bit in both phases.
+
+        Raises
+        ------
+        AttackConfigError
+            If no runs were added or the runs disagree entirely.
+        """
+        if not self.runs:
+            raise AttackConfigError("no runs to analyze")
+        votes: Dict[Tuple[int, Optional[int]], int] = {}
+        for series in self.runs:
+            inference = infer_state_byte(series)
+            key = (inference.byte_index, inference.watchdog_bit)
+            votes[key] = votes.get(key, 0) + 1
+        (byte_index, watchdog_bit), _count = max(votes.items(), key=lambda kv: kv[1])
+
+        pedal_values: Dict[int, int] = {}
+        mapping_out: Dict[int, str] = {}
+        for series in self.runs:
+            mapping, _segments = infer_state_sequence(series, byte_index, watchdog_bit)
+            mapping_out.update(mapping)
+            for value, name in mapping.items():
+                if name == "Pedal Down":
+                    pedal_values[value] = pedal_values.get(value, 0) + 1
+        if not pedal_values:
+            raise AttackConfigError("Pedal Down state never observed in captures")
+        masked = max(pedal_values.items(), key=lambda kv: kv[1])[0]
+        raw_values = {masked}
+        if watchdog_bit is not None:
+            raw_values.add(masked | (1 << watchdog_bit))
+        return AnalysisConclusion(
+            state_byte=byte_index,
+            watchdog_bit=watchdog_bit,
+            value_to_state=mapping_out,
+            pedal_down_raw_values=frozenset(raw_values),
+            runs_analyzed=len(self.runs),
+        )
+
+
+@dataclass(frozen=True)
+class AnalysisConclusion:
+    """What the attacker learned: the trigger recipe."""
+
+    state_byte: int
+    watchdog_bit: Optional[int]
+    value_to_state: Dict[int, str]
+    pedal_down_raw_values: frozenset
+    runs_analyzed: int

@@ -1,0 +1,357 @@
+"""Injection campaigns: parameter sweeps behind Table IV and Figure 9.
+
+For each campaign cell (scenario, injected error value, activation period)
+and repetition seed, two deterministic replicas of the same run execute:
+
+- a **ground-truth** replica with the RAVEN software checks disabled and no
+  detector, whose tool-tip path is compared against a same-seed fault-free
+  reference run — the attack *caused an adverse impact* when the paths
+  diverge by more than the 1 mm surgical-safety threshold;
+- a **monitored** replica with the RAVEN checks active and the
+  dynamic-model detector installed in monitor mode, from which both
+  detectors' verdicts are read under identical conditions.
+
+Fault-free repetitions (negative labels) measure the false-positive rates.
+Both replicas share all random streams with the reference run (same seed),
+so the comparison isolates exactly the attack's effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro import constants
+from repro.core.baseline import RavenBaselineDetector
+from repro.core.metrics import ConfusionMatrix
+from repro.core.mitigation import MitigationStrategy
+from repro.core.thresholds import SafetyThresholds
+from repro.sim.runner import (
+    make_detector_guard,
+    run_fault_free,
+    run_scenario_a,
+    run_scenario_b,
+)
+from repro.sim.trace import RunTrace
+
+#: Tool-tip deviation from the fault-free reference that counts as an
+#: adverse impact (the paper's 1 mm threshold from expert surgeons).
+IMPACT_DEVIATION_M = constants.UNSAFE_JUMP_M
+
+#: Paper-scale sweep grids (Figure 9): activation periods in ms.
+PAPER_PERIODS_MS = (2, 4, 8, 16, 32, 64, 128, 256)
+
+#: Scenario-B injected DAC error values (counts).
+PAPER_ERRORS_B = (2000, 5000, 9000, 13000, 18000, 26000)
+
+#: Scenario-A injected per-packet position errors (mm).
+PAPER_ERRORS_A = (0.05, 0.1, 0.2, 0.5, 1.0, 2.0)
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One (scenario, error value, activation period) sweep point."""
+
+    scenario: str
+    error_value: float
+    period_ms: int
+
+    def __post_init__(self) -> None:
+        if self.scenario not in ("A", "B"):
+            raise ValueError("scenario must be 'A' or 'B'")
+        if self.period_ms < 1:
+            raise ValueError("period_ms must be >= 1")
+
+
+@dataclass
+class RunOutcome:
+    """Result of one campaign run (one repetition of one cell)."""
+
+    cell: Optional[CampaignCell]
+    seed: int
+    label: bool
+    raven_detected: bool
+    model_detected: bool
+    deviation_mm: float
+    attack_fired: bool
+
+    @property
+    def is_fault_free(self) -> bool:
+        """Whether this outcome comes from an attack-free run."""
+        return self.cell is None
+
+
+@dataclass
+class CampaignResult:
+    """All outcomes of one scenario's campaign."""
+
+    scenario: str
+    outcomes: List[RunOutcome] = field(default_factory=list)
+
+    def confusion(self, detector: str) -> ConfusionMatrix:
+        """Confusion matrix for ``detector`` in {"model", "raven"}."""
+        if detector not in ("model", "raven"):
+            raise ValueError("detector must be 'model' or 'raven'")
+        pairs = [
+            (
+                o.label,
+                o.model_detected if detector == "model" else o.raven_detected,
+            )
+            for o in self.outcomes
+        ]
+        return ConfusionMatrix.from_pairs(pairs)
+
+    def cell_probabilities(self) -> Dict[CampaignCell, Dict[str, float]]:
+        """Per-cell impact/detection probabilities (Figure 9 data)."""
+        grouped: Dict[CampaignCell, List[RunOutcome]] = {}
+        for outcome in self.outcomes:
+            if outcome.cell is not None:
+                grouped.setdefault(outcome.cell, []).append(outcome)
+        table = {}
+        for cell, runs in grouped.items():
+            n = len(runs)
+            table[cell] = {
+                "n": n,
+                "p_impact": sum(o.label for o in runs) / n,
+                "p_model": sum(o.model_detected for o in runs) / n,
+                "p_raven": sum(o.raven_detected for o in runs) / n,
+            }
+        return table
+
+
+class CampaignRunner:
+    """Executes injection campaigns and labels their outcomes."""
+
+    def __init__(
+        self,
+        thresholds: SafetyThresholds,
+        duration_s: float = 1.6,
+        trajectory_name: str = "circle",
+        attack_delay_cycles: int = 300,
+        base_seed: int = 0,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.thresholds = thresholds
+        self.duration_s = duration_s
+        self.trajectory_name = trajectory_name
+        self.attack_delay_cycles = attack_delay_cycles
+        self.base_seed = base_seed
+        self.baseline = RavenBaselineDetector()
+        self._references: Dict[int, RunTrace] = {}
+        self._progress = progress or (lambda msg: None)
+
+    # -- pieces ------------------------------------------------------------------
+
+    def _reference(self, seed: int) -> RunTrace:
+        """Fault-free reference trace for ``seed`` (cached)."""
+        if seed not in self._references:
+            self._references[seed] = run_fault_free(
+                seed=seed,
+                trajectory_name=self.trajectory_name,
+                duration_s=self.duration_s,
+            )
+        return self._references[seed]
+
+    def _attack_runner(self, cell: CampaignCell):
+        if cell.scenario == "B":
+            return lambda **kw: run_scenario_b(
+                error_dac=int(cell.error_value), period_ms=cell.period_ms, **kw
+            )
+        return lambda **kw: run_scenario_a(
+            error_mm=float(cell.error_value), period_ms=cell.period_ms, **kw
+        )
+
+    def run_cell_once(self, cell: CampaignCell, seed: int) -> RunOutcome:
+        """Both replicas of one repetition of ``cell``."""
+        runner = self._attack_runner(cell)
+        common = dict(
+            seed=seed,
+            duration_s=self.duration_s,
+            trajectory_name=self.trajectory_name,
+            attack_delay_cycles=self.attack_delay_cycles,
+        )
+
+        # Ground truth: no RAVEN checks, no detector.
+        raw = runner(raven_safety_enabled=False, guard=None, **common)
+        deviation = raw.trace.max_deviation_from(self._reference(seed))
+        label = deviation > IMPACT_DEVIATION_M
+
+        # Monitored replica: RAVEN checks + detector in monitor mode.
+        guard = make_detector_guard(
+            self.thresholds, strategy=MitigationStrategy.MONITOR
+        )
+        monitored = runner(raven_safety_enabled=True, guard=guard, **common)
+
+        return RunOutcome(
+            cell=cell,
+            seed=seed,
+            label=label,
+            raven_detected=self.baseline.detected(monitored.trace),
+            model_detected=monitored.model_detected,
+            deviation_mm=deviation * 1e3,
+            attack_fired=raw.record.fired,
+        )
+
+    def run_fault_free_once(self, seed: int) -> RunOutcome:
+        """One attack-free repetition (negative label, for FPR)."""
+        guard = make_detector_guard(
+            self.thresholds, strategy=MitigationStrategy.MONITOR
+        )
+        trace = run_fault_free(
+            seed=seed,
+            trajectory_name=self.trajectory_name,
+            duration_s=self.duration_s,
+            guard=guard,
+        )
+        return RunOutcome(
+            cell=None,
+            seed=seed,
+            label=False,
+            raven_detected=self.baseline.detected(trace),
+            model_detected=guard.stats.alerted,
+            deviation_mm=0.0,
+            attack_fired=False,
+        )
+
+    # -- whole campaigns -------------------------------------------------------------
+
+    def run_campaign(
+        self,
+        scenario: str,
+        error_values: Sequence[float],
+        periods_ms: Sequence[int] = PAPER_PERIODS_MS,
+        repetitions: int = 20,
+        fault_free_runs: int = 0,
+        workers: int = 1,
+    ) -> CampaignResult:
+        """Sweep the full (error x period) grid with ``repetitions`` each.
+
+        ``fault_free_runs`` adds that many attack-free negative runs,
+        defaulting to roughly 20% of the injection runs when 0 is passed.
+        ``workers > 1`` distributes the runs over that many processes
+        (every run is an independent deterministic function of its cell
+        and seed) — the paper-scale campaigns are hours of single-core
+        simulation otherwise.
+        """
+        cells = [
+            CampaignCell(scenario=scenario, error_value=v, period_ms=p)
+            for v in error_values
+            for p in periods_ms
+        ]
+        if fault_free_runs <= 0:
+            fault_free_runs = max(1, len(cells) * repetitions // 5)
+        if workers > 1:
+            return self._run_campaign_parallel(
+                scenario, cells, repetitions, fault_free_runs, workers
+            )
+        result = CampaignResult(scenario=scenario)
+        for ci, cell in enumerate(cells):
+            for rep in range(repetitions):
+                seed = self.base_seed + rep
+                result.outcomes.append(self.run_cell_once(cell, seed))
+            self._progress(
+                f"[{scenario}] cell {ci + 1}/{len(cells)} "
+                f"(v={cell.error_value}, d={cell.period_ms}ms) done"
+            )
+        for i in range(fault_free_runs):
+            result.outcomes.append(
+                self.run_fault_free_once(self.base_seed + 1000 + i)
+            )
+        self._progress(f"[{scenario}] campaign complete: {len(result.outcomes)} runs")
+        return result
+
+    def _run_campaign_parallel(
+        self,
+        scenario: str,
+        cells: List[CampaignCell],
+        repetitions: int,
+        fault_free_runs: int,
+        workers: int,
+    ) -> CampaignResult:
+        """Fan the independent runs out over a process pool.
+
+        Work is grouped by repetition seed so each worker reuses its
+        fault-free reference run across all cells with that seed.
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        config = _RunnerConfig(
+            thresholds=self.thresholds.to_dict(),
+            duration_s=self.duration_s,
+            trajectory_name=self.trajectory_name,
+            attack_delay_cycles=self.attack_delay_cycles,
+            base_seed=self.base_seed,
+        )
+        tasks = []
+        for rep in range(repetitions):
+            seed = self.base_seed + rep
+            tasks.append(
+                (
+                    config,
+                    [(c.scenario, c.error_value, c.period_ms) for c in cells],
+                    seed,
+                )
+            )
+        ff_seeds = [self.base_seed + 1000 + i for i in range(fault_free_runs)]
+        chunk = max(1, len(ff_seeds) // max(1, workers))
+        ff_tasks = [
+            (config, None, ff_seeds[i : i + chunk])
+            for i in range(0, len(ff_seeds), chunk)
+        ]
+
+        result = CampaignResult(scenario=scenario)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            done = 0
+            for outcomes in pool.map(_campaign_worker, tasks + ff_tasks):
+                result.outcomes.extend(outcomes)
+                done += 1
+                self._progress(
+                    f"[{scenario}] parallel batch {done}/{len(tasks) + len(ff_tasks)} done"
+                )
+        self._progress(
+            f"[{scenario}] campaign complete: {len(result.outcomes)} runs "
+            f"({workers} workers)"
+        )
+        return result
+
+
+@dataclass(frozen=True)
+class _RunnerConfig:
+    """Picklable CampaignRunner construction parameters."""
+
+    thresholds: dict
+    duration_s: float
+    trajectory_name: str
+    attack_delay_cycles: int
+    base_seed: int
+
+
+def _campaign_worker(task) -> List[RunOutcome]:
+    """Process-pool entry: run one seed's cells, or a batch of fault-free
+    runs (``cells is None``)."""
+    config, cells, seed_or_seeds = task
+    runner = CampaignRunner(
+        SafetyThresholds.from_dict(config.thresholds),
+        duration_s=config.duration_s,
+        trajectory_name=config.trajectory_name,
+        attack_delay_cycles=config.attack_delay_cycles,
+        base_seed=config.base_seed,
+    )
+    if cells is None:
+        return [runner.run_fault_free_once(seed) for seed in seed_or_seeds]
+    outcomes = []
+    for scenario, error_value, period_ms in cells:
+        cell = CampaignCell(
+            scenario=scenario, error_value=error_value, period_ms=period_ms
+        )
+        outcomes.append(runner.run_cell_once(cell, seed_or_seeds))
+    return outcomes
+
+
+def table4_rows(results: Sequence[CampaignResult]) -> List[Tuple[str, str, ConfusionMatrix]]:
+    """(scenario, technique, confusion) rows in Table IV's layout."""
+    rows = []
+    for result in results:
+        rows.append((result.scenario, "Dynamic Model", result.confusion("model")))
+        rows.append((result.scenario, "RAVEN", result.confusion("raven")))
+    return rows

@@ -1,0 +1,80 @@
+"""Attack-Preparation phase: eavesdropping on the USB communication.
+
+The malicious shared library exports a ``write`` symbol whose wrapper —
+exactly as in Figure 4 of the paper — checks that it is running inside the
+RAVEN control process and that the descriptor is a USB board, logs the
+packet, forwards it to the attacker's remote server over UDP, and then
+calls the original ``write``.
+
+The wrapper changes neither control flow nor packet contents; its only
+cyber-domain footprint is the extra execution time measured in Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro import constants
+from repro.sysmodel.linker import SharedLibrary
+from repro.sysmodel.process import Process
+from repro.teleop.network import ExfiltrationSink
+
+
+@dataclass
+class EavesdropLogger:
+    """Attacker-side store of captured USB packets."""
+
+    packets: List[bytes] = field(default_factory=list)
+    call_count: int = 0
+
+    def record(self, data: bytes) -> None:
+        """Store one captured packet."""
+        self.packets.append(bytes(data))
+
+    def command_packets(self) -> List[bytes]:
+        """Only the 18-byte command packets (what Figure 5 plots)."""
+        return [p for p in self.packets if len(p) == constants.USB_PACKET_SIZE]
+
+    def __len__(self) -> int:
+        return len(self.packets)
+
+
+def build_eavesdropper_library(
+    logger: EavesdropLogger,
+    sink: Optional[ExfiltrationSink] = None,
+    target_process: str = "r2_control",
+    name: str = "libeavesdrop.so",
+) -> Tuple[SharedLibrary, EavesdropLogger]:
+    """Build the preparation-phase malicious shared library.
+
+    Parameters
+    ----------
+    logger:
+        Where captured packets accumulate (the attacker's log file).
+    sink:
+        Optional remote exfiltration endpoint; every captured packet is
+        also "sent over UDP" to it, reproducing the paper's forwarding
+        step (and its extra wrapper latency).
+    target_process:
+        Only writes from this process name are captured — the real wrapper
+        checks the process name so other processes' writes pass untouched.
+    """
+    library = SharedLibrary(name)
+
+    def write_factory(next_write, process: Process):
+        def malicious_write(fd: int, data: bytes) -> int:
+            logger.call_count += 1
+            if (
+                process.name == target_process
+                and len(data) == constants.USB_PACKET_SIZE
+            ):
+                logger.record(data)
+                if sink is not None:
+                    sink.fd_write(data)
+            return next_write(fd, data)
+
+        return malicious_write
+
+    library.export("write", write_factory)
+    return library, logger

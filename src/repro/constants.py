@@ -1,0 +1,144 @@
+"""Physical, protocol, and timing constants for the RAVEN II reproduction.
+
+All values are in SI units unless stated otherwise.  Where the paper or the
+public RAVEN II documentation gives a concrete value (1 ms control period,
+18-byte USB packets, Byte 0 state encoding, MAXON RE40/RE30 motors) we use
+it; remaining plant parameters are datasheet-plausible values tuned so that
+the simulated robot reproduces the paper's qualitative behaviour (millimetre
+jumps within milliseconds under torque injection, PID-corrected transients
+for short injections).
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Timing
+# ---------------------------------------------------------------------------
+
+#: Control-loop period of the RAVEN II software (seconds).  The paper states
+#: a 1 millisecond operational cycle and real-time constraint.
+CONTROL_PERIOD_S = 1e-3
+
+#: Control-loop frequency (Hz).
+CONTROL_RATE_HZ = 1.0 / CONTROL_PERIOD_S
+
+#: Number of positioning degrees of freedom modelled dynamically.  The paper
+#: models the first three (shoulder, elbow, insertion) of the seven DOF.
+NUM_DOF = 3
+
+#: Total degrees of freedom of one RAVEN II arm.
+NUM_DOF_FULL = 7
+
+# ---------------------------------------------------------------------------
+# USB packet protocol (control software -> USB I/O board)
+# ---------------------------------------------------------------------------
+
+#: Size in bytes of one USB packet written by the control software to a USB
+#: I/O board (Figure 5 of the paper shows 18 bytes).
+USB_PACKET_SIZE = 18
+
+#: Index of the byte carrying the robot operational state (Figure 5/6).
+USB_STATE_BYTE = 0
+
+#: Bit (0-indexed) of Byte 0 that carries the square-wave watchdog signal.
+#: The paper identifies "the fifth bit" toggling 0x0F <-> 0x1F, i.e. bit 4.
+USB_WATCHDOG_BIT = 4
+
+#: Byte 0 low-nibble values for each operational state.  With the watchdog
+#: bit cleared, Byte 0 takes one of four values corresponding to the four
+#: states of Figure 1(c); with the watchdog toggling, eight raw values are
+#: observed (e.g. 0x0F and 0x1F both mean "Pedal Down").
+STATE_BYTE_ESTOP = 0x00
+STATE_BYTE_INIT = 0x03
+STATE_BYTE_PEDAL_UP = 0x07
+STATE_BYTE_PEDAL_DOWN = 0x0F
+
+#: Offset of the first DAC command in the USB packet.  Each of the up to 8
+#: channels is a 16-bit signed big-endian value; we use channels 0..2 for the
+#: three modelled motors.
+USB_DAC_OFFSET = 1
+
+#: Number of DAC channels carried by one packet.
+USB_NUM_CHANNELS = 8
+
+#: Trailing checksum byte offset (sum-of-bytes modulo 256).  The USB board
+#: does NOT verify it — this is the integrity vulnerability the paper
+#: exploits ("the integrity of the packets is not checked after the USB
+#: boards receive them").
+USB_CHECKSUM_OFFSET = USB_PACKET_SIZE - 1
+
+# ---------------------------------------------------------------------------
+# DAC / motor-controller interface
+# ---------------------------------------------------------------------------
+
+#: DAC full-scale count (16-bit signed).
+DAC_FULL_SCALE = 32767
+
+#: Motor-controller current at DAC full scale (amperes).
+DAC_FULL_SCALE_CURRENT_A = 6.0
+
+#: Software safety-check limit on the magnitude of DAC commands, in counts.
+#: The RAVEN software compares each DAC command against a fixed threshold
+#: before the USB write.  (The physical RAVEN limits motor current; we pick
+#: a limit well inside full scale so malicious values can pass under it,
+#: and far enough above normal PID demands that mid-size disturbances do
+#: not trip it — the blind spot Table IV quantifies.)
+DAC_SAFETY_LIMIT = 24000
+
+# ---------------------------------------------------------------------------
+# Encoders
+# ---------------------------------------------------------------------------
+
+#: Encoder counts per motor-shaft revolution (quadrature-decoded).
+ENCODER_COUNTS_PER_REV = 4000
+
+# ---------------------------------------------------------------------------
+# Safety thresholds (paper, Section IV.C)
+# ---------------------------------------------------------------------------
+
+#: The detection goal: an unsafe jump of more than 1 millimetre of the
+#: end-effector within 1-2 milliseconds (based on expert surgeon feedback).
+UNSAFE_JUMP_M = 1e-3
+
+#: Window over which the unsafe jump is assessed (seconds).
+UNSAFE_JUMP_WINDOW_S = 2e-3
+
+#: Percentile band used for threshold learning over fault-free runs.
+THRESHOLD_PERCENTILE_LO = 99.8
+THRESHOLD_PERCENTILE_HI = 99.9
+
+#: Number of fault-free runs the paper uses for threshold learning.
+THRESHOLD_TRAINING_RUNS = 600
+
+# ---------------------------------------------------------------------------
+# ITP (Interoperable Teleoperation Protocol) over UDP
+# ---------------------------------------------------------------------------
+
+#: Default UDP port of the RAVEN control software ITP listener.
+ITP_DEFAULT_PORT = 36000
+
+#: ITP packet size in bytes (sequence, pedal, mode, 3x position increment,
+#: 4x orientation quaternion increment, checksum) — see repro.teleop.itp.
+ITP_PACKET_SIZE = 40
+
+#: Maximum magnitude of a single incremental position command (metres).  The
+#: control software rejects ITP packets whose increments exceed this value.
+ITP_MAX_INCREMENT_M = 5e-4
+
+# ---------------------------------------------------------------------------
+# Workspace and joint limits (one arm; simplified RAVEN geometry)
+# ---------------------------------------------------------------------------
+
+#: (min, max) for shoulder joint, radians.
+JOINT1_LIMITS_RAD = (-1.2, 1.2)
+
+#: (min, max) for elbow joint, radians.  The elbow stays flexed to one
+#: side: q2 = 0 puts the tool axis on the boundary of the mechanism's
+#: reachable cone (alpha1 + alpha2), which is a kinematic singularity.
+JOINT2_LIMITS_RAD = (0.3, 2.8)
+
+#: (min, max) for tool insertion, metres (distance along tool axis).
+JOINT3_LIMITS_M = (0.05, 0.30)
+
+#: Nominal insertion depth used as the neutral pose (metres).
+JOINT3_NEUTRAL_M = 0.15

@@ -1,0 +1,46 @@
+"""RAVEN II control software model.
+
+Implements the software side of Figure 1(b)/Figure 2 of the paper: the
+operational state machine, the kinematic chain (forward kinematics from
+encoder feedback, inverse kinematics to joint/motor targets, PID to DAC
+commands), the software safety checks, and the watchdog generation.
+
+Public API
+----------
+- :class:`RavenController` — the control-software node.
+- :class:`OperationalStateMachine`, :class:`RobotState` — Figure 1(c).
+- :class:`MotorPid` — per-motor PID controllers.
+- :class:`SafetyChecker`, :class:`WatchdogGenerator` — software safety.
+- :mod:`repro.control.trajectory` — desired-motion generators.
+"""
+
+from repro.control.pid import MotorPid, PidGains
+from repro.control.state_machine import OperationalStateMachine, RobotState
+from repro.control.safety import SafetyChecker, SafetyDecision, WatchdogGenerator
+from repro.control.trajectory import (
+    CircleTrajectory,
+    IdleTrajectory,
+    Figure8Trajectory,
+    SuturingTrajectory,
+    TrajectoryLibrary,
+    TremorModel,
+)
+from repro.control.controller import ControllerOutput, RavenController
+
+__all__ = [
+    "CircleTrajectory",
+    "ControllerOutput",
+    "Figure8Trajectory",
+    "IdleTrajectory",
+    "MotorPid",
+    "OperationalStateMachine",
+    "PidGains",
+    "RavenController",
+    "RobotState",
+    "SafetyChecker",
+    "SafetyDecision",
+    "SuturingTrajectory",
+    "TrajectoryLibrary",
+    "TremorModel",
+    "WatchdogGenerator",
+]

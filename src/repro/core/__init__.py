@@ -1,0 +1,46 @@
+"""Dynamic model-based detection and mitigation (the paper's Section IV).
+
+The framework intercepts every DAC command on its way from the control
+software to the motor controllers, estimates — with a real-time dynamic
+model of the robot — the motor and joint state that executing the command
+would produce in the next control period, and raises an alarm *before
+execution* when the estimated instant motor acceleration, motor velocity
+and joint velocity all exceed thresholds learned from fault-free runs.
+
+Public API
+----------
+- :class:`RavenDynamicModel` — the real-time parallel model.
+- :class:`NextStateEstimator`, :class:`StateEstimate` — one-step prediction.
+- :class:`ThresholdLearner`, :class:`SafetyThresholds` — percentile learning.
+- :class:`AnomalyDetector`, :class:`DetectionResult` — alarm fusion.
+- :class:`DetectorGuard`, :class:`MitigationStrategy` — USB-board insertion.
+- :class:`RavenBaselineDetector` — the robot's built-in checks, as a
+  comparable detector.
+- :mod:`repro.core.metrics` — ACC/TPR/FPR/F1.
+"""
+
+from repro.core.dynamic_model import ModelPrediction, RavenDynamicModel
+from repro.core.estimator import NextStateEstimator, StateEstimate
+from repro.core.thresholds import SafetyThresholds, ThresholdLearner
+from repro.core.detector import AnomalyDetector, DetectionResult, FusionRule
+from repro.core.mitigation import MitigationStrategy
+from repro.core.pipeline import DetectorGuard
+from repro.core.baseline import RavenBaselineDetector
+from repro.core.metrics import ConfusionMatrix, classification_report
+
+__all__ = [
+    "AnomalyDetector",
+    "ConfusionMatrix",
+    "DetectionResult",
+    "DetectorGuard",
+    "FusionRule",
+    "MitigationStrategy",
+    "ModelPrediction",
+    "NextStateEstimator",
+    "RavenBaselineDetector",
+    "RavenDynamicModel",
+    "SafetyThresholds",
+    "StateEstimate",
+    "ThresholdLearner",
+    "classification_report",
+]

@@ -1,0 +1,49 @@
+"""The RAVEN built-in safety mechanisms viewed as a detector.
+
+Table IV and Figure 9 of the paper compare the dynamic-model detector
+against "the existing detection and emergency stop (E-STOP) mechanisms in
+the RAVEN II robot": the fixed-threshold DAC checks in software plus the
+PLC watchdog.  This module extracts, from a finished run, whether those
+mechanisms "detected" the attack — i.e. whether they tripped for a reason
+attributable to the commands rather than to normal operator actions.
+
+The paper's key observation is structural and reproduced by construction
+here: the RAVEN checks run *before* the ``write`` system call and compare
+DAC values against fixed thresholds, so (i) scenario-B modifications are
+invisible to them until the PID reacts to the already-corrupted physical
+state, and (ii) commands under the threshold pass even when their physical
+consequence is an abrupt jump.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.trace import RunTrace
+
+#: PLC / state-machine E-STOP reasons that count as a *detection* by the
+#: robot's own mechanisms (as opposed to e.g. a scripted pedal release).
+_DETECTION_REASON_FRAGMENTS = (
+    "DAC channel",
+    "outside workspace",
+    "watchdog signal lost",
+    "IK failure",
+)
+
+
+class RavenBaselineDetector:
+    """Post-hoc extraction of the RAVEN safety mechanisms' verdict."""
+
+    def detected(self, trace: "RunTrace") -> bool:
+        """Whether the robot's own mechanisms tripped during the run."""
+        for reason in trace.estop_reasons:
+            if reason and any(f in reason for f in _DETECTION_REASON_FRAGMENTS):
+                return True
+        return bool(trace.safety_trip_cycles)
+
+    def first_detection_cycle(self, trace: "RunTrace") -> int:
+        """Cycle of the first safety trip; -1 when none occurred."""
+        if trace.safety_trip_cycles:
+            return trace.safety_trip_cycles[0]
+        return -1

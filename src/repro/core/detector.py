@@ -1,0 +1,110 @@
+"""Anomaly detection with alarm fusion.
+
+One alarm per variable group (motor velocity, motor acceleration, joint
+velocity), each raised when any axis exceeds its learned threshold.  "In
+order to reduce false alarms due to model inaccuracies and natural noise in
+the trajectory, the detector fuses the alarms ... and raises an alert only
+when all three variables indicate an abnormality." (paper, Section IV.C)
+
+The fusion rule is configurable (``ALL`` is the paper's choice; ``ANY`` and
+``MAJORITY`` support the fusion ablation).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.estimator import StateEstimate
+from repro.core.thresholds import VARIABLE_GROUPS, SafetyThresholds
+from repro.errors import DetectorError
+
+
+class FusionRule(enum.Enum):
+    """How per-variable alarms combine into a detector alert."""
+
+    ALL = "all"
+    MAJORITY = "majority"
+    ANY = "any"
+
+    def decide(self, alarms: Dict[str, bool]) -> bool:
+        """Apply the rule to the per-group alarm dict."""
+        count = sum(alarms.values())
+        if self is FusionRule.ALL:
+            return count == len(alarms)
+        if self is FusionRule.MAJORITY:
+            return count * 2 > len(alarms)
+        return count > 0
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """Outcome of evaluating one intercepted command."""
+
+    alert: bool
+    alarms: Dict[str, bool]
+    margins: Dict[str, float]
+
+    @property
+    def alarm_count(self) -> int:
+        """How many variable groups alarmed."""
+        return sum(self.alarms.values())
+
+
+class AnomalyDetector:
+    """Thresholds + fusion over estimator outputs."""
+
+    def __init__(
+        self,
+        thresholds: Optional[SafetyThresholds] = None,
+        fusion: FusionRule = FusionRule.ALL,
+    ) -> None:
+        self._thresholds = thresholds
+        self.fusion = fusion
+        self.evaluations = 0
+        self.alerts = 0
+
+    @property
+    def thresholds(self) -> SafetyThresholds:
+        """The calibrated thresholds.
+
+        Raises
+        ------
+        DetectorError
+            If the detector has not been calibrated.
+        """
+        if self._thresholds is None:
+            raise DetectorError(
+                "detector not calibrated: provide SafetyThresholds "
+                "(see ThresholdLearner)"
+            )
+        return self._thresholds
+
+    def calibrate(self, thresholds: SafetyThresholds) -> None:
+        """Install (or replace) the thresholds."""
+        self._thresholds = thresholds
+
+    def evaluate(self, estimate: StateEstimate) -> DetectionResult:
+        """Evaluate one command's estimated instant rates."""
+        thresholds = self.thresholds
+        alarms: Dict[str, bool] = {}
+        margins: Dict[str, float] = {}
+        for group in VARIABLE_GROUPS:
+            limit = getattr(thresholds, group)
+            value = np.abs(getattr(estimate, group))
+            ratio = float(np.max(value / limit))
+            alarms[group] = ratio > 1.0
+            margins[group] = ratio
+        alert = self.fusion.decide(alarms)
+        self.evaluations += 1
+        if alert:
+            self.alerts += 1
+        return DetectionResult(alert=alert, alarms=alarms, margins=margins)
+
+    def reset_counters(self) -> None:
+        """Zero the evaluation/alert counters."""
+        self.evaluations = 0
+        self.alerts = 0

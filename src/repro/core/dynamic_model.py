@@ -1,0 +1,171 @@
+"""The real-time dynamic model of the RAVEN II physical system.
+
+This is the software module the paper describes in Section IV.A.1: it
+"mimics the dynamical behavior of the robotic actuators" by modelling the
+MAXON DC motors and the first three (positioning) manipulator joints, and
+estimates — within a fraction of the 1 ms control period — the next motor
+and joint positions produced by a DAC command.
+
+Differences from the ground-truth plant (:class:`repro.dynamics.RavenPlant`),
+mirroring the paper's setup:
+
+- the model integrates with a single fixed step per control period
+  (explicit Euler by default; RK4 for the Figure-8 comparison) instead of
+  the plant's sub-stepped RK4;
+- the closed current loop is treated as instantaneous (``i = setpoint``),
+  which is what makes a 1 ms Euler step stable;
+- its coefficients are *tuned approximations*, not the plant's exact
+  parameters — the paper obtains them "via manual tuning"; the
+  ``parameter_error`` knob scales inertial/friction coefficients to model
+  that imperfection.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro import constants
+from repro.dynamics.friction import FrictionModel
+from repro.dynamics.integrators import get_integrator
+from repro.dynamics.manipulator import ManipulatorDynamics, ManipulatorParameters
+from repro.dynamics.motor import MotorParameters
+from repro.dynamics.plant import DEFAULT_MOTORS, dac_to_current
+from repro.dynamics.transmission import Transmission
+
+
+class ModelPrediction:
+    """Next-step state predicted from one DAC command."""
+
+    __slots__ = ("jpos", "jvel", "mpos", "mvel", "elapsed_s")
+
+    def __init__(
+        self,
+        jpos: np.ndarray,
+        jvel: np.ndarray,
+        mpos: np.ndarray,
+        mvel: np.ndarray,
+        elapsed_s: float,
+    ) -> None:
+        self.jpos = jpos
+        self.jvel = jvel
+        self.mpos = mpos
+        self.mvel = mvel
+        self.elapsed_s = elapsed_s
+
+
+class RavenDynamicModel:
+    """One-step-ahead model of motors + positioning joints."""
+
+    def __init__(
+        self,
+        motors: Sequence[MotorParameters] = DEFAULT_MOTORS,
+        manipulator_params: Optional[ManipulatorParameters] = None,
+        transmission: Optional[Transmission] = None,
+        friction: Optional[FrictionModel] = None,
+        integrator: str = "euler",
+        parameter_error: float = 1.0,
+        dt: float = constants.CONTROL_PERIOD_S,
+    ) -> None:
+        """Create the model.
+
+        Parameters
+        ----------
+        motors, manipulator_params, transmission, friction:
+            Physical description; defaults match the nominal plant.
+        integrator:
+            Stepper used per control period (``euler`` or ``rk4``; the
+            paper compares exactly these two in Figure 8).
+        parameter_error:
+            Multiplicative error applied to the model's inertial
+            parameters, with the friction coefficients skewed the
+            *opposite* way (``2 - parameter_error``) so the errors do not
+            cancel in the equations of motion — 1.0 means a perfect model;
+            the paper's manually tuned model corresponds to a few percent
+            of error.
+        dt:
+            Step size; the paper uses the 1 ms control period.
+        """
+        params = manipulator_params or ManipulatorParameters()
+        friction = friction or FrictionModel()
+        if parameter_error != 1.0:
+            params = params.scaled(parameter_error)
+            friction = friction.scaled(max(0.1, 2.0 - parameter_error))
+        self.dynamics = ManipulatorDynamics(params=params, friction=friction)
+        self.motors = tuple(motors)
+        self.transmission = transmission or Transmission()
+        self._stepper = get_integrator(integrator)
+        self.integrator_name = integrator
+        self.dt = dt
+
+        self._kt = np.array([m.torque_constant for m in self.motors])
+        self._i_max = np.array([m.max_current for m in self.motors])
+        self._refl_m = self.transmission.reflected_inertia(
+            [m.rotor_inertia for m in self.motors]
+        )
+        self._refl_b = self.transmission.reflected_damping(
+            [m.viscous_damping for m in self.motors]
+        )
+        #: Cumulative wall-clock statistics of :meth:`predict` (Figure 8).
+        self.predict_calls = 0
+        self.predict_seconds = 0.0
+
+    # -- state-to-state prediction ------------------------------------------------
+
+    def step(
+        self, jpos: np.ndarray, jvel: np.ndarray, dac_values: Sequence[float]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Integrate one control period from ``(jpos, jvel)`` under ``dac``.
+
+        Returns the next ``(jpos, jvel)``.  No timing bookkeeping — use
+        :meth:`predict` for the instrumented path.
+        """
+        setpoints = np.clip(dac_to_current(dac_values), -self._i_max, self._i_max)
+        tau_joint = self.transmission.joint_torques(self._kt * setpoints)
+        dynamics = self.dynamics
+        refl_m, refl_b = self._refl_m, self._refl_b
+
+        def f(_t: float, y: np.ndarray) -> np.ndarray:
+            qddot = dynamics.acceleration(
+                y[0:3], y[3:6], tau_joint, extra_inertia=refl_m, extra_damping=refl_b
+            )
+            return np.concatenate([y[3:6], qddot])
+
+        y = self._stepper(f, 0.0, np.concatenate([jpos, jvel]), self.dt)
+        return y[0:3], y[3:6]
+
+    def predict(
+        self, jpos: np.ndarray, jvel: np.ndarray, dac_values: Sequence[float]
+    ) -> ModelPrediction:
+        """One-step prediction with wall-clock instrumentation.
+
+        The elapsed time per call is what Figure 8 reports as
+        "Avg. Time/Step"; it must stay well below the 1 ms real-time
+        budget for the detector to run in-line with the control loop.
+        """
+        t0 = time.perf_counter()
+        jpos_next, jvel_next = self.step(jpos, jvel, dac_values)
+        elapsed = time.perf_counter() - t0
+        self.predict_calls += 1
+        self.predict_seconds += elapsed
+        return ModelPrediction(
+            jpos=jpos_next,
+            jvel=jvel_next,
+            mpos=self.transmission.motor_positions(jpos_next),
+            mvel=self.transmission.motor_velocities(jvel_next),
+            elapsed_s=elapsed,
+        )
+
+    @property
+    def mean_predict_seconds(self) -> float:
+        """Average wall-clock seconds per prediction so far."""
+        if self.predict_calls == 0:
+            return 0.0
+        return self.predict_seconds / self.predict_calls
+
+    def reset_timing(self) -> None:
+        """Clear the wall-clock statistics."""
+        self.predict_calls = 0
+        self.predict_seconds = 0.0

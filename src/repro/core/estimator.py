@@ -1,0 +1,157 @@
+"""Next-state estimation from intercepted DAC commands.
+
+The estimator is the glue between the measurement stream (encoder counts,
+available wherever the detector is inserted) and the dynamic model.  Each
+control cycle it:
+
+1. updates its joint-state estimate from the measured motor positions
+   (positions come from the encoders; velocities from a low-pass-filtered
+   finite difference of those measurements);
+2. runs the dynamic model one step ahead under the intercepted DAC
+   command;
+3. reports the *instant* rates the paper thresholds on — the differences
+   between estimated next values and current values per control period:
+   motor velocity, motor acceleration and joint velocity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro import constants
+from repro.core.dynamic_model import RavenDynamicModel
+
+
+class StateEstimate:
+    """Instant rates estimated for one intercepted command."""
+
+    __slots__ = (
+        "motor_velocity",
+        "motor_acceleration",
+        "joint_velocity",
+        "jpos_next",
+        "jvel_next",
+        "elapsed_s",
+    )
+
+    def __init__(
+        self,
+        motor_velocity: np.ndarray,
+        motor_acceleration: np.ndarray,
+        joint_velocity: np.ndarray,
+        jpos_next: np.ndarray,
+        jvel_next: np.ndarray,
+        elapsed_s: float,
+    ) -> None:
+        self.motor_velocity = motor_velocity
+        self.motor_acceleration = motor_acceleration
+        self.joint_velocity = joint_velocity
+        self.jpos_next = jpos_next
+        self.jvel_next = jvel_next
+        self.elapsed_s = elapsed_s
+
+
+class NextStateEstimator:
+    """Maintains the model state and produces per-command estimates."""
+
+    def __init__(
+        self,
+        model: Optional[RavenDynamicModel] = None,
+        dt: float = constants.CONTROL_PERIOD_S,
+        velocity_filter_alpha: float = 0.5,
+    ) -> None:
+        """Create the estimator.
+
+        Parameters
+        ----------
+        model:
+            The dynamic model; a nominal-parameter model when omitted.
+        dt:
+            Control period.
+        velocity_filter_alpha:
+            Exponential smoothing factor of the measured-velocity filter
+            (1.0 = raw finite differences; smaller = smoother).
+        """
+        self.model = model or RavenDynamicModel()
+        self.dt = dt
+        if not (0.0 < velocity_filter_alpha <= 1.0):
+            raise ValueError("velocity_filter_alpha must be in (0, 1]")
+        self.alpha = velocity_filter_alpha
+        self._jpos: Optional[np.ndarray] = None
+        self._jvel = np.zeros(3)
+        self._predicted_jvel: Optional[np.ndarray] = None
+
+    @property
+    def synced(self) -> bool:
+        """Whether at least one measurement has been ingested."""
+        return self._jpos is not None
+
+    @property
+    def jpos(self) -> Optional[np.ndarray]:
+        """Current joint-position estimate (None before first sync)."""
+        return None if self._jpos is None else self._jpos.copy()
+
+    @property
+    def jvel(self) -> np.ndarray:
+        """Current joint-velocity estimate."""
+        return self._jvel.copy()
+
+    def reset(self) -> None:
+        """Forget all state (e.g. across E-STOP)."""
+        self._jpos = None
+        self._jvel = np.zeros(3)
+        self._predicted_jvel = None
+
+    def sync(self, mpos_measured: Sequence[float]) -> None:
+        """Ingest one encoder measurement (motor shaft positions, rad).
+
+        The velocity estimate is a predictor-corrector (complementary
+        filter): the dynamic model's velocity prediction from the previous
+        cycle's command is corrected by the finite-differenced
+        measurements.  Running the model in parallel this way makes the
+        velocity estimate respond to commanded torques roughly one cycle
+        *ahead* of what encoder differences alone would show — that lead
+        is what lets the detector act before the physical jump completes.
+        """
+        jpos = self.model.transmission.joint_positions(
+            np.asarray(mpos_measured, dtype=float)
+        )
+        if self._jpos is None:
+            self._jvel = np.zeros(3)
+        else:
+            raw_vel = (jpos - self._jpos) / self.dt
+            measured = self.alpha * raw_vel + (1.0 - self.alpha) * self._jvel
+            if self._predicted_jvel is not None:
+                self._jvel = 0.5 * self._predicted_jvel + 0.5 * measured
+            else:
+                self._jvel = measured
+        self._jpos = jpos
+        self._predicted_jvel = None
+
+    def estimate(self, dac_values: Sequence[float]) -> StateEstimate:
+        """Estimate the instant rates produced by executing ``dac_values``.
+
+        Raises
+        ------
+        RuntimeError
+            If called before any measurement has been ingested.
+        """
+        if self._jpos is None:
+            raise RuntimeError("estimator not synced: call sync() first")
+        prediction = self.model.predict(self._jpos, self._jvel, dac_values)
+        self._predicted_jvel = prediction.jvel
+        mvel_now = self.model.transmission.motor_velocities(self._jvel)
+        # "Estimated instant" rates: the velocities the model predicts for
+        # the next step, and the per-step velocity change (acceleration).
+        # Using the predicted *next* velocities — not the position deltas —
+        # makes a torque spike visible on the very first corrupted packet.
+        return StateEstimate(
+            motor_velocity=prediction.mvel,
+            motor_acceleration=(prediction.mvel - mvel_now) / self.dt,
+            joint_velocity=prediction.jvel,
+            jpos_next=prediction.jpos,
+            jvel_next=prediction.jvel,
+            elapsed_s=prediction.elapsed_s,
+        )

@@ -1,0 +1,91 @@
+"""Binary-classification metrics used in Table IV of the paper.
+
+Accuracy (ACC), true-positive rate (TPR), false-positive rate (FPR) and
+F1-score, computed from a confusion matrix over experiment runs: a
+*positive* run is one whose attack caused (or would cause, absent
+mitigation) an adverse impact on the physical system; a detector's
+*prediction* is whether it raised an alert during the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+
+@dataclass(frozen=True)
+class ConfusionMatrix:
+    """Counts of (label, prediction) pairs."""
+
+    tp: int = 0
+    fp: int = 0
+    tn: int = 0
+    fn: int = 0
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[bool, bool]]) -> "ConfusionMatrix":
+        """Build from ``(label, predicted)`` pairs."""
+        tp = fp = tn = fn = 0
+        for label, predicted in pairs:
+            if label and predicted:
+                tp += 1
+            elif label and not predicted:
+                fn += 1
+            elif not label and predicted:
+                fp += 1
+            else:
+                tn += 1
+        return cls(tp=tp, fp=fp, tn=tn, fn=fn)
+
+    @property
+    def total(self) -> int:
+        """Total number of runs."""
+        return self.tp + self.fp + self.tn + self.fn
+
+    @property
+    def accuracy(self) -> float:
+        """(TP + TN) / total; 0 when empty."""
+        return (self.tp + self.tn) / self.total if self.total else 0.0
+
+    @property
+    def tpr(self) -> float:
+        """TP / (TP + FN) — recall; 0 when no positives."""
+        positives = self.tp + self.fn
+        return self.tp / positives if positives else 0.0
+
+    @property
+    def fpr(self) -> float:
+        """FP / (FP + TN); 0 when no negatives."""
+        negatives = self.fp + self.tn
+        return self.fp / negatives if negatives else 0.0
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP); 0 when nothing predicted positive."""
+        predicted = self.tp + self.fp
+        return self.tp / predicted if predicted else 0.0
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall; 0 when undefined."""
+        p, r = self.precision, self.tpr
+        return 2 * p * r / (p + r) if (p + r) > 0 else 0.0
+
+    def __add__(self, other: "ConfusionMatrix") -> "ConfusionMatrix":
+        return ConfusionMatrix(
+            tp=self.tp + other.tp,
+            fp=self.fp + other.fp,
+            tn=self.tn + other.tn,
+            fn=self.fn + other.fn,
+        )
+
+
+def classification_report(matrix: ConfusionMatrix, name: str = "detector") -> str:
+    """Human-readable one-line report in the paper's Table IV format."""
+    return (
+        f"{name}: ACC {matrix.accuracy * 100:5.1f}  "
+        f"TPR {matrix.tpr * 100:5.1f}  "
+        f"FPR {matrix.fpr * 100:5.1f}  "
+        f"F1 {matrix.f1 * 100:5.1f}  "
+        f"(n={matrix.total})"
+    )

@@ -1,0 +1,37 @@
+"""Mitigation strategies applied when the detector raises an alert.
+
+"Upon detection of potential adverse impact on the physical system, the
+impact of attacks can be mitigated by either correcting the malicious
+control command by forcing the robot to stay in a previously safe state or
+stopping the commands from execution and put the control software into a
+safe state (E-STOP)." (paper, Section IV.C)
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class MitigationStrategy(enum.Enum):
+    """What the guard does with a command that triggered an alert."""
+
+    #: Log the alert but let the command through (evaluation mode — used
+    #: for the Table IV / Figure 9 measurement campaigns).
+    MONITOR = "monitor"
+
+    #: Block the command; the motor controllers keep holding the last safe
+    #: command, i.e. the robot stays in the previously safe state.
+    BLOCK = "block"
+
+    #: Block the command and latch the PLC E-STOP (safe halt).
+    BLOCK_AND_ESTOP = "block_and_estop"
+
+    @property
+    def blocks(self) -> bool:
+        """Whether the strategy prevents execution of the command."""
+        return self is not MitigationStrategy.MONITOR
+
+    @property
+    def stops_robot(self) -> bool:
+        """Whether the strategy also halts the robot."""
+        return self is MitigationStrategy.BLOCK_AND_ESTOP

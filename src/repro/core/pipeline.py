@@ -1,0 +1,150 @@
+"""Insertion of the detector into the command path (Figure 7(b)).
+
+The :class:`DetectorGuard` is installed as the guard hook of the USB
+interface board — "the last computational component before the motor
+controllers" — so it sees every DAC command *after* any malicious
+modification (scenario B) and after the PID has reacted to malicious user
+inputs (scenario A), but *before* execution on the physical robot.
+
+Per intercepted command packet the guard:
+
+1. reads the current encoder counts (the same quantized measurements the
+   control software sees) and syncs the estimator;
+2. while the robot is engaged (Pedal Down), runs the one-step dynamic-model
+   prediction under the packet's DAC values and evaluates the fused alarm;
+3. applies the configured mitigation: monitor, block (robot holds the last
+   safe command), or block + PLC E-STOP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.control.state_machine import RobotState
+from repro.core.detector import AnomalyDetector, DetectionResult
+from repro.core.estimator import NextStateEstimator
+from repro.core.mitigation import MitigationStrategy
+from repro.errors import DetectorError
+from repro.hw.usb_board import UsbBoard
+from repro.hw.usb_packet import CommandPacket
+
+
+@dataclass
+class AlertEvent:
+    """One detector alert, for post-run analysis."""
+
+    cycle: int
+    state: RobotState
+    result: DetectionResult
+    blocked: bool
+
+
+@dataclass
+class GuardStats:
+    """Counters accumulated over a run."""
+
+    packets_seen: int = 0
+    packets_evaluated: int = 0
+    alerts: int = 0
+    blocked: int = 0
+    alert_events: List[AlertEvent] = field(default_factory=list)
+
+    @property
+    def alerted(self) -> bool:
+        """Whether any alert was raised."""
+        return self.alerts > 0
+
+    @property
+    def first_alert_cycle(self) -> Optional[int]:
+        """Cycle index of the first alert (None if never alerted)."""
+        return self.alert_events[0].cycle if self.alert_events else None
+
+
+class DetectorGuard:
+    """The dynamic-model detector wired into the USB board's guard hook."""
+
+    def __init__(
+        self,
+        estimator: NextStateEstimator,
+        detector: AnomalyDetector,
+        strategy: MitigationStrategy = MitigationStrategy.MONITOR,
+        max_recorded_alerts: int = 1000,
+        escalate_after_blocks: int = 50,
+    ) -> None:
+        """Create the guard.
+
+        ``escalate_after_blocks``: in BLOCK mode, a run of this many
+        *consecutive* blocked commands (the controller keeps producing
+        alarming commands, so holding the safe state is not converging)
+        escalates to a PLC E-STOP — blocking alone has no recovery path
+        when the alarm condition persists.
+        """
+        self.estimator = estimator
+        self.detector = detector
+        self.strategy = strategy
+        self.max_recorded_alerts = max_recorded_alerts
+        self.escalate_after_blocks = escalate_after_blocks
+        self.stats = GuardStats()
+        self._board: Optional[UsbBoard] = None
+        self._cycle = 0
+        self._block_streak = 0
+
+    def attach(self, board: UsbBoard) -> None:
+        """Install this guard on a USB board."""
+        self._board = board
+        board.guard = self
+
+    def reset(self) -> None:
+        """Clear per-run state (estimator memory and statistics)."""
+        self.estimator.reset()
+        self.stats = GuardStats()
+        self._cycle = 0
+        self._block_streak = 0
+
+    # -- guard protocol (called by UsbBoard.fd_write) ------------------------------
+
+    def __call__(self, packet: CommandPacket, raw: bytes) -> bool:
+        """Inspect one command packet; return True to allow execution."""
+        if self._board is None:
+            raise DetectorError("guard not attached to a USB board")
+        self._cycle += 1
+        self.stats.packets_seen += 1
+
+        # Same measurement stream the control software uses.
+        mpos = self._board.encoders.to_radians(self._board.encoder_counts()[:3])
+        self.estimator.sync(mpos)
+
+        if packet.state is not RobotState.PEDAL_DOWN:
+            # Brakes engaged: commands have no physical effect, and the
+            # model's at-rest assumptions hold; nothing to evaluate.
+            return True
+
+        estimate = self.estimator.estimate(packet.dac_values[:3])
+        result = self.detector.evaluate(estimate)
+        self.stats.packets_evaluated += 1
+        if not result.alert:
+            self._block_streak = 0
+            return True
+
+        self.stats.alerts += 1
+        blocked = self.strategy.blocks
+        if blocked:
+            self.stats.blocked += 1
+            self._block_streak += 1
+        if len(self.stats.alert_events) < self.max_recorded_alerts:
+            self.stats.alert_events.append(
+                AlertEvent(
+                    cycle=self._cycle,
+                    state=packet.state,
+                    result=result,
+                    blocked=blocked,
+                )
+            )
+        if self.strategy.stops_robot:
+            self._board.plc.trigger_estop("dynamic-model detector alert")
+        elif blocked and self._block_streak >= self.escalate_after_blocks:
+            self._board.plc.trigger_estop(
+                "dynamic-model detector alert persisted; escalating to E-STOP"
+            )
+        return not blocked

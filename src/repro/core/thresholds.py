@@ -1,0 +1,170 @@
+"""Threshold learning from fault-free runs.
+
+"The thresholds used for detecting anomalies are learned through measuring
+the maximum instant velocities of each of the variables over 600 fault-free
+runs of the model with two different trajectories containing sufficient
+variability in the movement.  To eliminate the sensitivity of sample
+statistics to outliers and possible noise in measurements, we chose values
+between the 99.8-99.9th percentiles of instant velocity as the threshold
+for each variable." (paper, Section IV.C)
+
+:class:`ThresholdLearner` pools the per-cycle instant rates produced by the
+estimator across fault-free runs and takes a per-variable percentile; a
+multiplicative margin can widen the thresholds when lower false-alarm rates
+are preferred over sensitivity.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+from repro import constants
+from repro.core.estimator import StateEstimate
+from repro.errors import DetectorError
+
+#: The three monitored variable groups, in the paper's order.
+VARIABLE_GROUPS = ("motor_velocity", "motor_acceleration", "joint_velocity")
+
+
+@dataclass(frozen=True)
+class SafetyThresholds:
+    """Per-axis alarm thresholds for the three monitored variable groups."""
+
+    motor_velocity: np.ndarray
+    motor_acceleration: np.ndarray
+    joint_velocity: np.ndarray
+    percentile: float = 99.85
+    margin: float = 1.0
+
+    def __post_init__(self) -> None:
+        for group in VARIABLE_GROUPS:
+            value = np.asarray(getattr(self, group), dtype=float)
+            if value.shape != (3,):
+                raise DetectorError(f"{group} threshold must have 3 axes")
+            if np.any(value <= 0.0):
+                raise DetectorError(f"{group} thresholds must be positive")
+            object.__setattr__(self, group, value)
+
+    def scaled(self, factor: float) -> "SafetyThresholds":
+        """Thresholds uniformly scaled by ``factor`` (ablation use)."""
+        return SafetyThresholds(
+            motor_velocity=self.motor_velocity * factor,
+            motor_acceleration=self.motor_acceleration * factor,
+            joint_velocity=self.joint_velocity * factor,
+            percentile=self.percentile,
+            margin=self.margin * factor,
+        )
+
+    # -- persistence ------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation."""
+        return {
+            "motor_velocity": self.motor_velocity.tolist(),
+            "motor_acceleration": self.motor_acceleration.tolist(),
+            "joint_velocity": self.joint_velocity.tolist(),
+            "percentile": self.percentile,
+            "margin": self.margin,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SafetyThresholds":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            motor_velocity=np.asarray(data["motor_velocity"], dtype=float),
+            motor_acceleration=np.asarray(data["motor_acceleration"], dtype=float),
+            joint_velocity=np.asarray(data["joint_velocity"], dtype=float),
+            percentile=float(data.get("percentile", 99.85)),
+            margin=float(data.get("margin", 1.0)),
+        )
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write thresholds to a JSON file."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "SafetyThresholds":
+        """Read thresholds from a JSON file."""
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+@dataclass
+class ThresholdLearner:
+    """Pools estimator outputs from fault-free runs and fits thresholds."""
+
+    percentile: float = 0.5
+    margin: float = 1.0
+    _samples: dict = field(default_factory=lambda: {g: [] for g in VARIABLE_GROUPS})
+    runs_observed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.percentile == 0.5:
+            # Default to the middle of the paper's 99.8-99.9 band.
+            self.percentile = 0.5 * (
+                constants.THRESHOLD_PERCENTILE_LO + constants.THRESHOLD_PERCENTILE_HI
+            )
+        if not (50.0 < self.percentile <= 100.0):
+            raise DetectorError("percentile must be in (50, 100]")
+        if self.margin <= 0.0:
+            raise DetectorError("margin must be positive")
+
+    def observe(self, estimate: StateEstimate) -> None:
+        """Add one control cycle's instant rates to the pool."""
+        self._samples["motor_velocity"].append(np.abs(estimate.motor_velocity))
+        self._samples["motor_acceleration"].append(
+            np.abs(estimate.motor_acceleration)
+        )
+        self._samples["joint_velocity"].append(np.abs(estimate.joint_velocity))
+
+    def finish_run(self) -> None:
+        """Mark the end of one fault-free run (bookkeeping only)."""
+        self.runs_observed += 1
+
+    @property
+    def sample_count(self) -> int:
+        """Number of cycles pooled so far."""
+        return len(self._samples["motor_velocity"])
+
+    def fit(self) -> SafetyThresholds:
+        """Compute the per-variable percentile thresholds.
+
+        Raises
+        ------
+        DetectorError
+            If no samples were observed.
+        """
+        if self.sample_count == 0:
+            raise DetectorError("cannot fit thresholds without samples")
+        values = {}
+        for group in VARIABLE_GROUPS:
+            stacked = np.vstack(self._samples[group])
+            values[group] = (
+                np.percentile(stacked, self.percentile, axis=0) * self.margin
+            )
+        return SafetyThresholds(
+            motor_velocity=values["motor_velocity"],
+            motor_acceleration=values["motor_acceleration"],
+            joint_velocity=values["joint_velocity"],
+            percentile=self.percentile,
+            margin=self.margin,
+        )
+
+    def fit_range(self) -> List[SafetyThresholds]:
+        """Thresholds at both ends of the paper's 99.8-99.9 band."""
+        out = []
+        for pct in (
+            constants.THRESHOLD_PERCENTILE_LO,
+            constants.THRESHOLD_PERCENTILE_HI,
+        ):
+            saved = self.percentile
+            self.percentile = pct
+            try:
+                out.append(self.fit())
+            finally:
+                self.percentile = saved
+        return out

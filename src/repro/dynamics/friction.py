@@ -1,0 +1,67 @@
+"""Joint friction model: viscous plus smoothed Coulomb friction.
+
+Cable-driven joints have significant Coulomb friction.  A discontinuous
+``sign(qdot)`` term would make the ODEs stiff at zero crossings, so the
+Coulomb component is smoothed with ``tanh(qdot / v_eps)`` — standard
+practice for fixed-step simulation of robot dynamics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FrictionModel:
+    """Per-joint viscous + smoothed-Coulomb friction.
+
+    Attributes
+    ----------
+    viscous:
+        Viscous coefficients (N*m*s/rad, or N*s/m for the prismatic joint).
+    coulomb:
+        Coulomb magnitudes (N*m, or N for the prismatic joint).
+    smoothing_velocity:
+        Velocity scale of the tanh smoothing (rad/s or m/s).
+    """
+
+    viscous: np.ndarray = field(
+        default_factory=lambda: np.array([0.08, 0.08, 2.0])
+    )
+    coulomb: np.ndarray = field(
+        default_factory=lambda: np.array([0.05, 0.05, 0.8])
+    )
+    smoothing_velocity: float = 1e-2
+
+    def __post_init__(self) -> None:
+        v = np.asarray(self.viscous, dtype=float)
+        c = np.asarray(self.coulomb, dtype=float)
+        if v.shape != c.shape:
+            raise ValueError("viscous and coulomb must have the same shape")
+        if np.any(v < 0.0) or np.any(c < 0.0):
+            raise ValueError("friction coefficients must be non-negative")
+        if self.smoothing_velocity <= 0.0:
+            raise ValueError("smoothing_velocity must be positive")
+        object.__setattr__(self, "viscous", v)
+        object.__setattr__(self, "coulomb", c)
+
+    def torque(self, qdot: Sequence[float]) -> np.ndarray:
+        """Friction generalized force opposing motion (same sign as ``qdot``).
+
+        The caller subtracts this from the applied torque.
+        """
+        qdot = np.asarray(qdot, dtype=float)
+        return self.viscous * qdot + self.coulomb * np.tanh(
+            qdot / self.smoothing_velocity
+        )
+
+    def scaled(self, scale: float) -> "FrictionModel":
+        """A copy with all coefficients scaled (for model-mismatch studies)."""
+        return FrictionModel(
+            viscous=self.viscous * scale,
+            coulomb=self.coulomb * scale,
+            smoothing_velocity=self.smoothing_velocity,
+        )

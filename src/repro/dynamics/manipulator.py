@@ -1,0 +1,256 @@
+"""Link (joint) dynamics of the 3-DOF RAVEN II positioning arm.
+
+Following the paper (Section IV.A.1), only the first three degrees of
+freedom — shoulder rotation, elbow rotation and tool insertion — are
+modelled dynamically; they are the positioning joints that dominate the
+end-effector position.
+
+The mechanism is spherical, so the moving masses are compactly described by
+point masses riding on the tool axis plus constant link inertias about the
+joint axes:
+
+- link 2's centre of mass sits a fixed distance ``r2`` from the RCM along
+  the tool-axis direction ``u(q1, q2)``;
+- the instrument (plus carriage) of mass ``m3`` sits at the insertion depth
+  ``d`` along the same direction.
+
+With point positions ``p_k = f_k(q)`` and Jacobians ``J_k = dp_k/dq``, the
+standard Lagrangian form follows exactly:
+
+    M(q)        = M0 + sum_k m_k J_k^T J_k
+    C(q, qdot)qdot = sum_k m_k J_k^T (Jdot_k qdot)
+    g(q)        = -sum_k m_k J_k^T gravity_vector
+
+``Jdot_k qdot`` is evaluated by a directional finite difference of the
+analytic Jacobian along ``qdot`` (exact as the step goes to zero; the step
+used is far below any scale that matters at surgical velocities).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.dynamics.friction import FrictionModel
+from repro.kinematics.jacobian import position_jacobian
+from repro.kinematics.spherical_arm import ArmGeometry, SphericalArm
+
+#: Gravitational acceleration vector in the world frame (z up), m/s^2.
+GRAVITY = np.array([0.0, 0.0, -9.81])
+
+#: Step used for the directional finite difference of the Jacobian.
+_JDOT_EPS = 1e-6
+
+
+def _solve3(m: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve the symmetric 3x3 system ``m @ x = b`` by Cramer's rule.
+
+    ~5x faster than ``np.linalg.solve`` at this size; the inertia matrix is
+    positive definite so the determinant is safely bounded away from zero.
+    """
+    a00, a01, a02 = m[0]
+    a10, a11, a12 = m[1]
+    a20, a21, a22 = m[2]
+    c00 = a11 * a22 - a12 * a21
+    c01 = a12 * a20 - a10 * a22
+    c02 = a10 * a21 - a11 * a20
+    det = a00 * c00 + a01 * c01 + a02 * c02
+    b0, b1, b2 = b
+    x0 = (
+        b0 * c00
+        + a01 * (a12 * b2 - b1 * a22)
+        + a02 * (b1 * a21 - a11 * b2)
+    ) / det
+    x1 = (
+        a00 * (b1 * a22 - a12 * b2)
+        + b0 * c01
+        + a02 * (a10 * b2 - b1 * a20)
+    ) / det
+    x2 = (
+        a00 * (a11 * b2 - b1 * a21)
+        + a01 * (b1 * a20 - a10 * b2)
+        + b0 * c02
+    ) / det
+    return np.array([x0, x1, x2])
+
+
+@dataclass(frozen=True)
+class ManipulatorParameters:
+    """Inertial parameters of one positioning arm.
+
+    Attributes
+    ----------
+    base_inertias:
+        Constant link inertias about the three joint axes: ``I1`` about the
+        base axis, ``I2`` about the joint-2 axis (kg*m^2), and a small
+        carriage mass term for the prismatic axis (kg).
+    link2_mass:
+        Mass lumped at ``link2_com_radius`` along the tool axis (kg).
+    link2_com_radius:
+        Distance of link-2's lumped mass from the RCM (m).
+    instrument_mass:
+        Mass of the instrument + carriage riding at the insertion depth (kg).
+    """
+
+    base_inertias: np.ndarray = field(
+        default_factory=lambda: np.array([8.0e-3, 5.0e-3, 0.05])
+    )
+    link2_mass: float = 0.35
+    link2_com_radius: float = 0.10
+    instrument_mass: float = 0.15
+
+    def __post_init__(self) -> None:
+        inertias = np.asarray(self.base_inertias, dtype=float)
+        if inertias.shape != (3,) or np.any(inertias <= 0.0):
+            raise ValueError("base_inertias must be three positive values")
+        object.__setattr__(self, "base_inertias", inertias)
+        if self.link2_mass <= 0.0 or self.instrument_mass <= 0.0:
+            raise ValueError("masses must be positive")
+        if self.link2_com_radius <= 0.0:
+            raise ValueError("link2_com_radius must be positive")
+
+    def scaled(self, scale: float) -> "ManipulatorParameters":
+        """A copy with masses/inertias scaled (model-mismatch studies)."""
+        return ManipulatorParameters(
+            base_inertias=self.base_inertias * scale,
+            link2_mass=self.link2_mass * scale,
+            link2_com_radius=self.link2_com_radius,
+            instrument_mass=self.instrument_mass * scale,
+        )
+
+
+class ManipulatorDynamics:
+    """Computes M(q), Coriolis and gravity forces for the positioning arm."""
+
+    def __init__(
+        self,
+        params: Optional[ManipulatorParameters] = None,
+        geometry: Optional[ArmGeometry] = None,
+        friction: Optional[FrictionModel] = None,
+        include_coriolis: bool = True,
+        include_gravity: bool = True,
+    ) -> None:
+        self.params = params or ManipulatorParameters()
+        self.arm = SphericalArm(geometry)
+        self.friction = friction or FrictionModel()
+        self.include_coriolis = include_coriolis
+        self.include_gravity = include_gravity
+        self._m0 = np.diag(self.params.base_inertias).astype(float)
+
+    # -- point-mass Jacobians -------------------------------------------------
+
+    def _instrument_jacobian(self, q: np.ndarray) -> np.ndarray:
+        """Jacobian of the instrument point mass at depth ``q[2]``."""
+        return position_jacobian(self.arm, q)
+
+    def _link2_jacobian(self, q: np.ndarray) -> np.ndarray:
+        """Jacobian of link 2's lumped mass (fixed radius, no d column)."""
+        q_fixed = np.array([q[0], q[1], self.params.link2_com_radius])
+        jac = position_jacobian(self.arm, q_fixed)
+        jac[:, 2] = 0.0  # link-2 COM does not move with insertion
+        return jac
+
+    # -- dynamics terms -------------------------------------------------------
+
+    def mass_matrix(self, q: np.ndarray) -> np.ndarray:
+        """Joint-space inertia matrix M(q) of the links (without rotors)."""
+        p = self.params
+        j3 = self._instrument_jacobian(q)
+        j2 = self._link2_jacobian(q)
+        m = np.diag(p.base_inertias).astype(float)
+        m += p.instrument_mass * (j3.T @ j3)
+        m += p.link2_mass * (j2.T @ j2)
+        return m
+
+    def coriolis_force(self, q: np.ndarray, qdot: np.ndarray) -> np.ndarray:
+        """Coriolis/centrifugal generalized force ``C(q, qdot) @ qdot``."""
+        if not self.include_coriolis:
+            return np.zeros(3)
+        p = self.params
+        qdot = np.asarray(qdot, dtype=float)
+        speed = float(np.linalg.norm(qdot))
+        if speed < 1e-12:
+            return np.zeros(3)
+        eps = _JDOT_EPS / speed
+        q_ahead = np.asarray(q, dtype=float) + eps * qdot
+        force = np.zeros(3)
+        for mass, jac_fn in (
+            (p.instrument_mass, self._instrument_jacobian),
+            (p.link2_mass, self._link2_jacobian),
+        ):
+            jac = jac_fn(q)
+            jdot_qdot = (jac_fn(q_ahead) - jac) @ qdot / eps
+            force += mass * (jac.T @ jdot_qdot)
+        return force
+
+    def gravity_force(self, q: np.ndarray) -> np.ndarray:
+        """Gravity generalized force (put on the LHS of the EOM)."""
+        if not self.include_gravity:
+            return np.zeros(3)
+        p = self.params
+        j3 = self._instrument_jacobian(q)
+        j2 = self._link2_jacobian(q)
+        return -(
+            p.instrument_mass * (j3.T @ GRAVITY)
+            + p.link2_mass * (j2.T @ GRAVITY)
+        )
+
+    def friction_force(self, qdot: np.ndarray) -> np.ndarray:
+        """Joint friction generalized force opposing motion."""
+        return self.friction.torque(qdot)
+
+    def acceleration(
+        self,
+        q: np.ndarray,
+        qdot: np.ndarray,
+        tau: np.ndarray,
+        extra_inertia: Optional[np.ndarray] = None,
+        extra_damping: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Joint accelerations under applied joint torques ``tau``.
+
+        ``extra_inertia``/``extra_damping`` let the plant add the motor
+        rotors' reflected inertia and damping without re-deriving the EOM.
+
+        This is the hot path of every derivative evaluation, so the point-
+        mass Jacobians are computed once and shared between the inertia,
+        Coriolis and gravity terms (the split ``mass_matrix`` /
+        ``coriolis_force`` / ``gravity_force`` methods remain for tests and
+        offline analysis).
+        """
+        p = self.params
+        q = np.asarray(q, dtype=float)
+        qdot = np.asarray(qdot, dtype=float)
+        j3 = self._instrument_jacobian(q)
+        j2 = self._link2_jacobian(q)
+
+        m = self._m0 + p.instrument_mass * (j3.T @ j3) + p.link2_mass * (j2.T @ j2)
+        if extra_inertia is not None:
+            m = m + extra_inertia
+
+        rhs = np.asarray(tau, dtype=float) - self.friction_force(qdot)
+
+        if self.include_gravity:
+            # J.T @ (0, 0, -9.81) is just -9.81 times the third row of J.
+            rhs += (GRAVITY[2] * p.instrument_mass) * j3[2, :]
+            rhs += (GRAVITY[2] * p.link2_mass) * j2[2, :]
+
+        if self.include_coriolis:
+            speed = float(np.linalg.norm(qdot))
+            if speed > 1e-12:
+                eps = _JDOT_EPS / speed
+                q_ahead = q + eps * qdot
+                j3a = self._instrument_jacobian(q_ahead)
+                j2a = self._link2_jacobian(q_ahead)
+                rhs -= p.instrument_mass * (j3.T @ ((j3a - j3) @ qdot / eps))
+                rhs -= p.link2_mass * (j2.T @ ((j2a - j2) @ qdot / eps))
+
+        if extra_damping is not None:
+            rhs = rhs - extra_damping @ qdot
+        return _solve3(m, rhs)
+
+    def gravity_compensation(self, q: np.ndarray) -> np.ndarray:
+        """Joint torques that exactly cancel gravity at pose ``q``."""
+        return self.gravity_force(q)

@@ -1,0 +1,132 @@
+"""Brushed DC motor models for the RAVEN II actuators.
+
+The RAVEN II drives its cable transmissions with MAXON RE40 (shoulder and
+elbow) and RE30 (instrument axes) brushed DC motors.  The motor controllers
+on the USB interface boards are *current* controlled: a DAC count commands a
+winding-current setpoint, an inner analog current loop tracks it, and the
+shaft torque is ``kt * i``.
+
+We model the closed current loop as a first-order lag with time constant
+``current_loop_tau`` (the loop bandwidth of a MAXON servo amplifier is a few
+kHz, far above the 1 kHz software loop), with the setpoint saturated at
+``max_current``.  The rotor's mechanical dynamics (inertia, viscous
+damping) are reflected into the joint-space equations by the plant via the
+transmission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MotorParameters:
+    """Datasheet-style parameters of a brushed DC motor + servo amplifier.
+
+    Attributes
+    ----------
+    name:
+        Human-readable model name.
+    torque_constant:
+        ``kt`` in N*m/A.
+    back_emf_constant:
+        ``ke`` in V*s/rad (numerically equals ``kt`` in SI units).
+    terminal_resistance:
+        Winding resistance in ohms.
+    terminal_inductance:
+        Winding inductance in henries.
+    rotor_inertia:
+        Rotor inertia in kg*m^2.
+    viscous_damping:
+        Rotor viscous friction in N*m*s/rad.
+    max_current:
+        Amplifier current limit in amperes (peak).
+    current_loop_tau:
+        First-order time constant of the closed current loop in seconds.
+    """
+
+    name: str
+    torque_constant: float
+    back_emf_constant: float
+    terminal_resistance: float
+    terminal_inductance: float
+    rotor_inertia: float
+    viscous_damping: float
+    max_current: float
+    current_loop_tau: float = 2e-4
+
+    def __post_init__(self) -> None:
+        for attr in (
+            "torque_constant",
+            "back_emf_constant",
+            "terminal_resistance",
+            "terminal_inductance",
+            "rotor_inertia",
+            "max_current",
+            "current_loop_tau",
+        ):
+            if getattr(self, attr) <= 0.0:
+                raise ValueError(f"{attr} must be positive")
+        if self.viscous_damping < 0.0:
+            raise ValueError("viscous_damping must be non-negative")
+
+    def torque(self, current: float) -> float:
+        """Shaft torque (N*m) at winding current ``current`` (A)."""
+        return self.torque_constant * current
+
+    def clamp_current(self, current: float) -> float:
+        """Saturate a current setpoint at the amplifier limit."""
+        limit = self.max_current
+        return max(-limit, min(limit, current))
+
+    def current_derivative(self, current: float, setpoint: float) -> float:
+        """``di/dt`` of the first-order closed current loop (A/s)."""
+        return (self.clamp_current(setpoint) - current) / self.current_loop_tau
+
+    def electrical_time_constant(self) -> float:
+        """Open-winding L/R time constant (s), for reference/tests."""
+        return self.terminal_inductance / self.terminal_resistance
+
+    def perturbed(self, scale: float, suffix: str = "-model") -> "MotorParameters":
+        """A copy with inertia/damping/kt scaled by ``scale``.
+
+        Used to build the *detector's* dynamic model with imperfect
+        coefficients — the paper obtains its model coefficients by manual
+        tuning, so model and plant never match exactly.
+        """
+        return MotorParameters(
+            name=self.name + suffix,
+            torque_constant=self.torque_constant * scale,
+            back_emf_constant=self.back_emf_constant * scale,
+            terminal_resistance=self.terminal_resistance,
+            terminal_inductance=self.terminal_inductance,
+            rotor_inertia=self.rotor_inertia * scale,
+            viscous_damping=self.viscous_damping * scale,
+            max_current=self.max_current,
+            current_loop_tau=self.current_loop_tau,
+        )
+
+
+#: MAXON RE40 (150 W) — drives the shoulder and elbow axes.
+MAXON_RE40 = MotorParameters(
+    name="MAXON RE40",
+    torque_constant=30.2e-3,
+    back_emf_constant=30.2e-3,
+    terminal_resistance=0.317,
+    terminal_inductance=0.0823e-3,
+    rotor_inertia=1.42e-5,
+    viscous_damping=2.0e-6,
+    max_current=6.0,
+)
+
+#: MAXON RE30 (60 W) — drives the instrument insertion axis.
+MAXON_RE30 = MotorParameters(
+    name="MAXON RE30",
+    torque_constant=25.9e-3,
+    back_emf_constant=25.9e-3,
+    terminal_resistance=0.611,
+    terminal_inductance=0.119e-3,
+    rotor_inertia=3.35e-6,
+    viscous_damping=1.0e-6,
+    max_current=4.0,
+)

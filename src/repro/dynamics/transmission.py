@@ -1,0 +1,112 @@
+"""Gear and cable transmission between motors and joints.
+
+RAVEN II joints are cable driven.  Each motor drives its joint through a
+capstan reduction, and — because the cables for the distal axes are routed
+over the proximal pulleys — motor motions couple weakly into neighbouring
+joints.  We model the (rigid) transmission with a *joint-to-motor* matrix
+``G``:
+
+    mpos = G @ jpos          (positions)
+    tau_joint = G.T @ tau_motor   (torques; power conservation)
+
+``G`` is the per-axis gear ratio on the diagonal (rad of motor per rad of
+joint for the rotational axes; rad of motor per metre of insertion for the
+prismatic axis) plus small off-diagonal cable-routing coupling terms.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import DynamicsError
+
+#: Default per-axis reductions: ~32:1 capstan for shoulder/elbow (near the
+#: inertia-matched optimum for an RE40 driving the arm), 100 rad/m capstan
+#: (10 mm radius drum) for insertion.
+DEFAULT_GEAR_RATIOS = (32.0, 32.0, 100.0)
+
+#: Fractional cable coupling of the insertion cable over the elbow pulley
+#: and the elbow cable over the shoulder pulley.
+DEFAULT_COUPLING = 0.03
+
+
+class Transmission:
+    """Rigid cable transmission with coupling between adjacent axes."""
+
+    def __init__(
+        self,
+        gear_ratios: Sequence[float] = DEFAULT_GEAR_RATIOS,
+        coupling: float = DEFAULT_COUPLING,
+        matrix: Optional[np.ndarray] = None,
+    ) -> None:
+        """Build the transmission.
+
+        Parameters
+        ----------
+        gear_ratios:
+            Diagonal reductions per axis.
+        coupling:
+            Fractional coupling of each distal axis into its proximal
+            neighbour (dimensionless, small).
+        matrix:
+            Full joint-to-motor matrix; overrides ``gear_ratios``/``coupling``
+            when given.
+        """
+        if matrix is not None:
+            g = np.asarray(matrix, dtype=float)
+        else:
+            ratios = np.asarray(gear_ratios, dtype=float)
+            if np.any(ratios <= 0.0):
+                raise DynamicsError("gear ratios must be positive")
+            n = len(ratios)
+            g = np.diag(ratios)
+            for i in range(1, n):
+                # Distal cable i rides over proximal pulley i-1.
+                g[i, i - 1] = coupling * ratios[i]
+        if g.ndim != 2 or g.shape[0] != g.shape[1]:
+            raise DynamicsError("transmission matrix must be square")
+        if abs(np.linalg.det(g)) < 1e-12:
+            raise DynamicsError("transmission matrix must be invertible")
+        self._g = g
+        self._g_inv = np.linalg.inv(g)
+
+    @property
+    def joint_to_motor(self) -> np.ndarray:
+        """The joint-to-motor position matrix ``G`` (copy)."""
+        return self._g.copy()
+
+    @property
+    def num_axes(self) -> int:
+        """Number of transmission axes."""
+        return self._g.shape[0]
+
+    def motor_positions(self, jpos: np.ndarray) -> np.ndarray:
+        """Motor shaft positions for joint positions ``jpos``."""
+        return self._g @ np.asarray(jpos, dtype=float)
+
+    def joint_positions(self, mpos: np.ndarray) -> np.ndarray:
+        """Joint positions for motor shaft positions ``mpos``."""
+        return self._g_inv @ np.asarray(mpos, dtype=float)
+
+    def motor_velocities(self, jvel: np.ndarray) -> np.ndarray:
+        """Motor shaft velocities for joint velocities ``jvel``."""
+        return self._g @ np.asarray(jvel, dtype=float)
+
+    def joint_torques(self, motor_torques: np.ndarray) -> np.ndarray:
+        """Joint-space generalized forces produced by motor torques."""
+        return self._g.T @ np.asarray(motor_torques, dtype=float)
+
+    def reflected_inertia(self, rotor_inertias: Sequence[float]) -> np.ndarray:
+        """Joint-space inertia contributed by the motor rotors.
+
+        For rigid transmission, ``M_reflected = G.T @ diag(J_rotor) @ G``.
+        """
+        j = np.diag(np.asarray(rotor_inertias, dtype=float))
+        return self._g.T @ j @ self._g
+
+    def reflected_damping(self, rotor_dampings: Sequence[float]) -> np.ndarray:
+        """Joint-space viscous damping contributed by the motor rotors."""
+        b = np.diag(np.asarray(rotor_dampings, dtype=float))
+        return self._g.T @ b @ self._g

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch the whole family with a single ``except`` clause while
+still distinguishing subsystems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class KinematicsError(ReproError):
+    """Raised when a kinematic computation fails (e.g. unreachable pose)."""
+
+
+class InverseKinematicsError(KinematicsError):
+    """Raised when inverse kinematics has no solution for a target pose."""
+
+
+class WorkspaceError(KinematicsError):
+    """Raised when a pose or joint vector violates workspace/joint limits."""
+
+
+class DynamicsError(ReproError):
+    """Raised on invalid dynamic-model configuration or state."""
+
+
+class IntegrationError(DynamicsError):
+    """Raised when a numerical integration step fails (NaN/Inf state)."""
+
+
+class PacketError(ReproError):
+    """Raised on malformed protocol packets (USB or ITP)."""
+
+
+class ChecksumError(PacketError):
+    """Raised when a packet checksum does not match its payload."""
+
+
+class SafetyViolation(ReproError):
+    """Raised by software safety checks when a command exceeds limits."""
+
+
+class StateMachineError(ReproError):
+    """Raised on an illegal operational state-machine transition."""
+
+
+class SyscallError(ReproError):
+    """Raised by the simulated system-call layer (bad fd, closed table)."""
+
+
+class LinkerError(ReproError):
+    """Raised by the simulated dynamic linker (unknown symbol, bad wrapper)."""
+
+
+class AttackConfigError(ReproError):
+    """Raised when an attack scenario is configured inconsistently."""
+
+
+class DetectorError(ReproError):
+    """Raised when the anomaly detector is used before calibration."""
+
+
+class SimulationError(ReproError):
+    """Raised when the simulation rig is wired or driven incorrectly."""

@@ -1,0 +1,126 @@
+"""Command-line runner for the experiment drivers.
+
+Regenerate any of the paper's artifacts without pytest::
+
+    python -m repro.experiments table2 fig5
+    python -m repro.experiments all
+    REPRO_SCALE=smoke python -m repro.experiments table4 fig9
+
+Artifacts print to stdout; expensive intermediates (thresholds, campaign
+outcomes) are cached under ``.cache/`` exactly as the benchmark harness
+does.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.experiments.scale import current_scale
+
+
+def _table1() -> str:
+    from repro.experiments.table1 import format_results, run_table1
+
+    return format_results(run_table1())
+
+
+def _table2() -> str:
+    from repro.experiments.table2 import format_results, run_table2
+
+    return format_results(run_table2(samples=current_scale().syscall_samples))
+
+
+def _fig5() -> str:
+    from repro.experiments.fig5 import format_results, run_fig5
+
+    return format_results(
+        run_fig5(duration_s=current_scale().capture_duration_s)
+    )
+
+
+def _fig6() -> str:
+    from repro.experiments.fig6 import format_results, run_fig6
+
+    scale = current_scale()
+    return format_results(
+        run_fig6(runs=scale.capture_runs, duration_s=scale.capture_duration_s)
+    )
+
+
+def _fig8() -> str:
+    from repro.experiments.fig8 import format_results, run_fig8
+
+    scale = current_scale()
+    return format_results(
+        run_fig8(
+            runs=scale.validation_runs,
+            duration_s=scale.validation_duration_s,
+        )
+    )
+
+
+def _table4() -> str:
+    from repro.experiments.table4 import (
+        average_accuracy,
+        format_results,
+        run_table4,
+    )
+
+    rows = run_table4()
+    return (
+        format_results(rows)
+        + f"\n\naverage dynamic-model accuracy: "
+        f"{average_accuracy(rows) * 100:.1f}% (paper: ~90%)"
+    )
+
+
+def _fig9() -> str:
+    from repro.experiments.fig9 import format_results, run_fig9, shape_checks
+
+    tables = run_fig9()
+    checks = shape_checks(tables)
+    lines = [format_results(tables), "", "shape checks:"]
+    lines += [f"  [{'ok' if ok else 'FAIL'}] {name}" for name, ok in checks.items()]
+    return "\n".join(lines)
+
+
+ARTIFACTS: Dict[str, Callable[[], str]] = {
+    "table1": _table1,
+    "table2": _table2,
+    "fig5": _fig5,
+    "fig6": _fig6,
+    "fig8": _fig8,
+    "table4": _table4,
+    "fig9": _fig9,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "artifacts",
+        nargs="+",
+        choices=sorted(ARTIFACTS) + ["all"],
+        help="which artifacts to regenerate ('all' for every one)",
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(ARTIFACTS) if "all" in args.artifacts else args.artifacts
+    scale = current_scale()
+    print(f"scale: {scale.name} (set REPRO_SCALE to change)\n")
+    for name in names:
+        t0 = time.perf_counter()
+        print(f"=== {name} ===")
+        print(ARTIFACTS[name]())
+        print(f"[{name} done in {time.perf_counter() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

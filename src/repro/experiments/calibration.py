@@ -1,0 +1,44 @@
+"""Threshold calibration with on-disk caching.
+
+Threshold learning is the most frequently reused expensive step (every
+detection experiment needs calibrated thresholds), so the fitted
+:class:`~repro.core.thresholds.SafetyThresholds` are cached as JSON keyed
+by the scale preset.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from repro.core.thresholds import SafetyThresholds
+from repro.experiments.scale import Scale, current_scale
+from repro.sim.runner import train_thresholds
+
+#: Default cache directory (repository-local, safe to delete).
+CACHE_DIR = Path(__file__).resolve().parents[3] / ".cache"
+
+
+def thresholds_cache_path(scale: Scale, cache_dir: Optional[Path] = None) -> Path:
+    """Where the thresholds for ``scale`` are cached."""
+    directory = Path(cache_dir) if cache_dir is not None else CACHE_DIR
+    return directory / f"thresholds_{scale.name}.json"
+
+
+def get_thresholds(
+    scale: Optional[Scale] = None,
+    cache_dir: Optional[Path] = None,
+    force_retrain: bool = False,
+) -> SafetyThresholds:
+    """Load cached thresholds for ``scale``, training them if absent."""
+    scale = scale or current_scale()
+    path = thresholds_cache_path(scale, cache_dir)
+    if path.exists() and not force_retrain:
+        return SafetyThresholds.load(path)
+    thresholds = train_thresholds(
+        num_runs=scale.training_runs,
+        duration_s=scale.training_duration_s,
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    thresholds.save(path)
+    return thresholds

@@ -1,0 +1,122 @@
+"""Shared campaign execution + caching for Table IV and Figure 9.
+
+Both artifacts read the same campaign data (the paper derives them from
+the same 1 925 + 1 361 experiment runs), so campaigns execute once per
+scale preset and cache their outcomes as JSON under ``.cache/``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.attacks.campaign import (
+    CampaignCell,
+    CampaignResult,
+    CampaignRunner,
+    RunOutcome,
+)
+from repro.experiments.calibration import CACHE_DIR, get_thresholds
+from repro.experiments.scale import Scale, current_scale
+
+
+def _outcome_to_dict(outcome: RunOutcome) -> dict:
+    cell = outcome.cell
+    return {
+        "cell": None
+        if cell is None
+        else {
+            "scenario": cell.scenario,
+            "error_value": cell.error_value,
+            "period_ms": cell.period_ms,
+        },
+        "seed": outcome.seed,
+        "label": outcome.label,
+        "raven_detected": outcome.raven_detected,
+        "model_detected": outcome.model_detected,
+        "deviation_mm": outcome.deviation_mm,
+        "attack_fired": outcome.attack_fired,
+    }
+
+
+def _outcome_from_dict(data: dict) -> RunOutcome:
+    cell = data["cell"]
+    return RunOutcome(
+        cell=None
+        if cell is None
+        else CampaignCell(
+            scenario=cell["scenario"],
+            error_value=cell["error_value"],
+            period_ms=cell["period_ms"],
+        ),
+        seed=data["seed"],
+        label=data["label"],
+        raven_detected=data["raven_detected"],
+        model_detected=data["model_detected"],
+        deviation_mm=data["deviation_mm"],
+        attack_fired=data["attack_fired"],
+    )
+
+
+def campaign_cache_path(
+    scenario: str, scale: Scale, cache_dir: Optional[Path] = None
+) -> Path:
+    """Cache location for one scenario's campaign at ``scale``."""
+    directory = Path(cache_dir) if cache_dir is not None else CACHE_DIR
+    return directory / f"campaign_{scenario}_{scale.name}.json"
+
+
+def get_campaign(
+    scenario: str,
+    scale: Optional[Scale] = None,
+    cache_dir: Optional[Path] = None,
+    force_rerun: bool = False,
+    progress=None,
+) -> CampaignResult:
+    """Load or execute the campaign for ``scenario`` at ``scale``."""
+    if scenario not in ("A", "B"):
+        raise ValueError("scenario must be 'A' or 'B'")
+    scale = scale or current_scale()
+    path = campaign_cache_path(scenario, scale, cache_dir)
+    if path.exists() and not force_rerun:
+        data = json.loads(path.read_text())
+        result = CampaignResult(scenario=scenario)
+        result.outcomes = [_outcome_from_dict(d) for d in data["outcomes"]]
+        return result
+
+    thresholds = get_thresholds(scale, cache_dir)
+    runner = CampaignRunner(
+        thresholds,
+        duration_s=scale.run_duration_s,
+        progress=progress,
+    )
+    errors = scale.errors_a_mm if scenario == "A" else scale.errors_b_dac
+    import os
+
+    workers = int(os.environ.get("REPRO_WORKERS", "1"))
+    result = runner.run_campaign(
+        scenario,
+        error_values=errors,
+        periods_ms=scale.periods_ms,
+        repetitions=scale.repetitions,
+        fault_free_runs=scale.fault_free_runs,
+        workers=workers,
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(
+            {"outcomes": [_outcome_to_dict(o) for o in result.outcomes]}, indent=1
+        )
+    )
+    return result
+
+
+def get_both_campaigns(
+    scale: Optional[Scale] = None, cache_dir: Optional[Path] = None, progress=None
+) -> Dict[str, CampaignResult]:
+    """Both scenarios' campaigns."""
+    return {
+        "A": get_campaign("A", scale, cache_dir, progress=progress),
+        "B": get_campaign("B", scale, cache_dir, progress=progress),
+    }

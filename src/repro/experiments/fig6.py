@@ -1,0 +1,79 @@
+"""Figure 6: Byte 0 across multiple runs and the attacker's conclusion.
+
+The paper shows the values of Byte 0 over nine different runs: the state
+sequence (E-STOP -> Init -> Pedal Up <-> Pedal Down) is recoverable from
+every run.  This experiment captures N runs with varying trajectories and
+pedal schedules, infers the per-run state segments, and lets
+:class:`~repro.attacks.analysis.OfflineAnalysis` vote across runs to
+produce the deployment trigger (the raw Byte 0 values meaning Pedal Down).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.attacks.analysis import (
+    AnalysisConclusion,
+    OfflineAnalysis,
+    byte_value_series,
+    infer_state_byte,
+    infer_state_sequence,
+)
+from repro.experiments.fig5 import capture_run
+from repro.experiments.report import format_table
+
+
+@dataclass
+class Fig6Result:
+    """Per-run segments plus the cross-run conclusion."""
+
+    per_run_segments: List[list]
+    conclusion: AnalysisConclusion
+
+
+def run_fig6(
+    runs: int = 9, duration_s: float = 2.0, base_seed: int = 40
+) -> Fig6Result:
+    """Capture ``runs`` sessions and run the full offline analysis."""
+    trajectories = ("circle", "figure8", "suturing")
+    analysis = OfflineAnalysis()
+    per_run_segments = []
+    for i in range(runs):
+        # Vary the session: different motions, some with a pedal release.
+        release = None if i % 3 else duration_s * 0.8
+        packets = capture_run(
+            seed=base_seed + i,
+            duration_s=duration_s,
+            trajectory_name=trajectories[i % len(trajectories)],
+            pedal_release_s=release,
+        )
+        analysis.add_run(packets)
+        series = byte_value_series(packets)
+        inference = infer_state_byte(series)
+        _mapping, segments = infer_state_sequence(
+            series, inference.byte_index, inference.watchdog_bit
+        )
+        per_run_segments.append(segments)
+    return Fig6Result(
+        per_run_segments=per_run_segments, conclusion=analysis.conclude()
+    )
+
+
+def format_results(result: Fig6Result) -> str:
+    """Figure 6-style textual report."""
+    rows = []
+    for i, segments in enumerate(result.per_run_segments):
+        sequence = " -> ".join(name for _s, _e, name in segments)
+        rows.append([f"run {i}", sequence])
+    conclusion = result.conclusion
+    lines = [
+        format_table(["run", "inferred state sequence"], rows),
+        "",
+        f"conclusion over {conclusion.runs_analyzed} runs:",
+        f"  state byte       : Byte {conclusion.state_byte}",
+        f"  watchdog bit     : bit {conclusion.watchdog_bit}",
+        "  Pedal Down values: "
+        + ", ".join(f"0x{v:02X}" for v in sorted(conclusion.pedal_down_raw_values)),
+    ]
+    return "\n".join(lines)

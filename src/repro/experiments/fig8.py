@@ -1,0 +1,108 @@
+"""Figure 8: dynamic-model validation — integrator comparison.
+
+For each integrator (4th-order Runge-Kutta and explicit Euler, 1 ms step)
+the model runs in parallel with the plant over several teleoperated runs
+under identical control inputs; reported per integrator:
+
+- average wall-clock time per model step (the paper: 0.032 ms RK4 vs
+  0.011 ms Euler — both far inside the 1 ms budget);
+- average absolute motor-position and joint-position errors per joint.
+
+The paper's conclusion under test: Euler is ~3x cheaper with essentially
+the same trajectory error, so it is the right choice for in-loop
+estimation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.experiments.report import format_table
+from repro.sim.runner import ModelValidationResult, run_model_validation
+
+
+@dataclass
+class Fig8Row:
+    """Aggregated statistics for one integrator."""
+
+    integrator: str
+    mean_step_ms: float
+    jpos_mae: np.ndarray
+    mpos_mae: np.ndarray
+    runs: int
+
+
+def run_fig8(
+    runs: int = 10,
+    duration_s: float = 3.0,
+    integrators: tuple = ("rk4", "euler"),
+    base_seed: int = 60,
+) -> List[Fig8Row]:
+    """Run the model-validation comparison over ``runs`` runs each."""
+    trajectories = ("circle", "suturing")
+    rows = []
+    for integrator in integrators:
+        results: List[ModelValidationResult] = []
+        for i in range(runs):
+            results.append(
+                run_model_validation(
+                    integrator=integrator,
+                    seed=base_seed + i,
+                    duration_s=duration_s,
+                    trajectory_name=trajectories[i % len(trajectories)],
+                )
+            )
+        rows.append(
+            Fig8Row(
+                integrator=integrator,
+                mean_step_ms=float(
+                    np.mean([r.mean_step_seconds for r in results]) * 1e3
+                ),
+                jpos_mae=np.mean([r.jpos_mae for r in results], axis=0),
+                mpos_mae=np.mean([r.mpos_mae for r in results], axis=0),
+                runs=runs,
+            )
+        )
+    return rows
+
+
+def format_results(rows: List[Fig8Row]) -> str:
+    """Figure 8-style table: time/step and per-joint errors."""
+    table_rows = []
+    for r in rows:
+        table_rows.append(
+            [
+                r.integrator,
+                f"{r.mean_step_ms:.4f}",
+                f"{np.degrees(r.mpos_mae[0]):.2f}",
+                f"{np.degrees(r.jpos_mae[0]):.3f}",
+                f"{np.degrees(r.mpos_mae[1]):.2f}",
+                f"{np.degrees(r.jpos_mae[1]):.3f}",
+                f"{np.degrees(r.mpos_mae[2]):.2f}",
+                f"{r.jpos_mae[2] * 1e3:.3f}",
+            ]
+        )
+    table = format_table(
+        [
+            "integrator",
+            "time/step (ms)",
+            "J1 mpos (deg)",
+            "J1 jpos (deg)",
+            "J2 mpos (deg)",
+            "J2 jpos (deg)",
+            "J3 mpos (deg)",
+            "J3 jpos (mm)",
+        ],
+        table_rows,
+    )
+    speedups: Dict[str, float] = {r.integrator: r.mean_step_ms for r in rows}
+    lines = [table]
+    if "euler" in speedups and "rk4" in speedups and speedups["euler"] > 0:
+        lines.append(
+            f"\nrk4/euler time ratio: {speedups['rk4'] / speedups['euler']:.2f}x "
+            "(paper: 0.032/0.011 = 2.9x)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""Small helpers for printing ASCII result tables."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render a fixed-width ASCII table."""
+    cells: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([str(c) for c in row])
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for ri, row in enumerate(cells):
+        line = "  ".join(c.ljust(widths[i]) for i, c in enumerate(row))
+        lines.append(line.rstrip())
+        if ri == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_float(value: float, digits: int = 3) -> str:
+    """Fixed-point float for table cells."""
+    return f"{value:.{digits}f}"

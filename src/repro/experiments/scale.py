@@ -1,0 +1,110 @@
+"""Experiment sizing: smoke / default / paper scale.
+
+The paper's campaigns total thousands of runs (1 925 for scenario A,
+1 361 for scenario B, 600 threshold-training runs).  Re-running all of
+that takes hours of wall-clock on the pure-Python simulator, so the
+benchmark harness defaults to a reduced — but shape-preserving — workload
+and scales up when ``REPRO_SCALE=paper`` is set.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class Scale:
+    """All experiment sizes for one scale preset."""
+
+    name: str
+    #: Threshold training.
+    training_runs: int
+    training_duration_s: float
+    #: Campaign grids.
+    errors_a_mm: Tuple[float, ...]
+    errors_b_dac: Tuple[int, ...]
+    periods_ms: Tuple[int, ...]
+    repetitions: int
+    fault_free_runs: int
+    run_duration_s: float
+    #: Figure 8 model validation.
+    validation_runs: int
+    validation_duration_s: float
+    #: Table II syscall count.
+    syscall_samples: int
+    #: Figures 5/6 eavesdropping runs.
+    capture_runs: int
+    capture_duration_s: float
+
+
+SMOKE = Scale(
+    name="smoke",
+    training_runs=4,
+    training_duration_s=1.2,
+    errors_a_mm=(0.05, 0.5),
+    errors_b_dac=(5000, 24000),
+    periods_ms=(8, 64),
+    repetitions=2,
+    fault_free_runs=4,
+    run_duration_s=1.4,
+    validation_runs=2,
+    validation_duration_s=2.0,
+    syscall_samples=2_000,
+    capture_runs=3,
+    capture_duration_s=1.5,
+)
+
+DEFAULT = Scale(
+    name="default",
+    training_runs=24,
+    training_duration_s=1.6,
+    errors_a_mm=(0.02, 0.05, 0.1, 0.2, 0.5, 1.0),
+    errors_b_dac=(2000, 5000, 13000, 18000, 24000, 30000),
+    periods_ms=(2, 8, 16, 64, 128),
+    repetitions=3,
+    fault_free_runs=60,
+    run_duration_s=1.6,
+    validation_runs=6,
+    validation_duration_s=3.0,
+    syscall_samples=50_000,
+    capture_runs=9,
+    capture_duration_s=2.0,
+)
+
+PAPER = Scale(
+    name="paper",
+    training_runs=600,
+    training_duration_s=2.0,
+    errors_a_mm=(0.02, 0.05, 0.1, 0.2, 0.5, 1.0),
+    errors_b_dac=(2000, 5000, 13000, 18000, 24000, 30000),
+    periods_ms=(2, 4, 8, 16, 32, 64, 128, 256),
+    repetitions=20,
+    fault_free_runs=385,
+    run_duration_s=2.0,
+    validation_runs=10,
+    validation_duration_s=3.0,
+    syscall_samples=50_000,
+    capture_runs=9,
+    capture_duration_s=2.5,
+)
+
+_PRESETS = {"smoke": SMOKE, "default": DEFAULT, "paper": PAPER}
+
+
+def current_scale() -> Scale:
+    """The scale selected by ``REPRO_SCALE`` (default: ``default``).
+
+    Raises
+    ------
+    KeyError
+        If ``REPRO_SCALE`` names an unknown preset.
+    """
+    name = os.environ.get("REPRO_SCALE", "default").lower()
+    try:
+        return _PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown REPRO_SCALE {name!r}; choose from {sorted(_PRESETS)}"
+        ) from None

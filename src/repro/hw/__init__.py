@@ -1,0 +1,51 @@
+"""Hardware models: USB interface boards, motor controllers, encoders, PLC.
+
+These are the components below the software/hardware boundary in
+Figure 1(b) of the paper.  Two properties are modelled faithfully because
+the attack depends on them:
+
+- every USB packet written by the control software carries the robot's
+  operational state and the watchdog square wave in Byte 0 (the side
+  channel the offline analysis mines), and
+- the USB boards do **not** verify packet integrity, so commands modified
+  after the software safety checks are executed unchecked (the TOCTOU
+  vulnerability of attack scenario B).
+
+Public API
+----------
+- :mod:`repro.hw.usb_packet` — packet encode/decode.
+- :class:`UsbBoard` — the 8-channel USB interface board.
+- :class:`MotorController` — DAC-to-motor execution.
+- :class:`EncoderBank` — quadrature encoder quantization.
+- :class:`Plc` — safety PLC: watchdog monitor, brakes, E-STOP latch.
+"""
+
+from repro.hw.usb_packet import (
+    COMMAND_PACKET_SIZE,
+    FEEDBACK_PACKET_SIZE,
+    CommandPacket,
+    FeedbackPacket,
+    decode_command_packet,
+    decode_feedback_packet,
+    encode_command_packet,
+    encode_feedback_packet,
+)
+from repro.hw.encoder import EncoderBank
+from repro.hw.motor_controller import MotorController
+from repro.hw.plc import Plc
+from repro.hw.usb_board import UsbBoard
+
+__all__ = [
+    "COMMAND_PACKET_SIZE",
+    "FEEDBACK_PACKET_SIZE",
+    "CommandPacket",
+    "EncoderBank",
+    "FeedbackPacket",
+    "MotorController",
+    "Plc",
+    "UsbBoard",
+    "decode_command_packet",
+    "decode_feedback_packet",
+    "encode_command_packet",
+    "encode_feedback_packet",
+]

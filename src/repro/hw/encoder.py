@@ -1,0 +1,66 @@
+"""Quadrature encoder bank: motor shaft angles <-> integer counts.
+
+The motor controllers read back encoder values from the motors; the control
+software estimates current joint positions from them (Section II.B of the
+paper).  Quantization to integer counts is the only measurement noise the
+baseline system has; an optional count-level jitter models electrical noise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro import constants
+
+_TWO_PI = 2.0 * np.pi
+
+
+class EncoderBank:
+    """Converts motor shaft positions (rad) to counts and back."""
+
+    def __init__(
+        self,
+        counts_per_rev: int = constants.ENCODER_COUNTS_PER_REV,
+        noise_counts: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        """Create the bank.
+
+        Parameters
+        ----------
+        counts_per_rev:
+            Quadrature-decoded counts per motor revolution.
+        noise_counts:
+            Standard deviation of additive count noise (0 disables noise).
+        rng:
+            Random generator for the noise (required when noise > 0).
+        """
+        if counts_per_rev <= 0:
+            raise ValueError("counts_per_rev must be positive")
+        if noise_counts < 0:
+            raise ValueError("noise_counts must be non-negative")
+        if noise_counts > 0 and rng is None:
+            raise ValueError("rng is required when noise_counts > 0")
+        self.counts_per_rev = int(counts_per_rev)
+        self.noise_counts = noise_counts
+        self._rng = rng
+
+    def to_counts(self, mpos: Sequence[float]) -> np.ndarray:
+        """Quantize motor shaft angles (rad) to integer counts."""
+        mpos = np.asarray(mpos, dtype=float)
+        counts = mpos / _TWO_PI * self.counts_per_rev
+        if self.noise_counts > 0:
+            counts = counts + self._rng.normal(0.0, self.noise_counts, counts.shape)
+        return np.rint(counts).astype(np.int64)
+
+    def to_radians(self, counts: Sequence[int]) -> np.ndarray:
+        """Convert integer counts back to motor shaft angles (rad)."""
+        counts = np.asarray(counts, dtype=float)
+        return counts * _TWO_PI / self.counts_per_rev
+
+    @property
+    def resolution_rad(self) -> float:
+        """Angle of one encoder count (rad)."""
+        return _TWO_PI / self.counts_per_rev

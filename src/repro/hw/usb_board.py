@@ -1,0 +1,105 @@
+"""The custom 8-channel USB interface board.
+
+The board sits between the control software and the motor controllers/PLC
+(Figure 1(b)).  It appears to the control process as a file descriptor:
+``write`` delivers a command packet, ``read`` returns a feedback packet
+with the encoder counts.
+
+Security-relevant behaviour reproduced from the paper:
+
+- the board does **not** verify the integrity of received command packets
+  (the checksum is ignored), so bytes modified after the software safety
+  checks are executed as-is;
+- every command packet carries the operational state and watchdog in
+  Byte 0, which the board forwards to the PLC — and which any wrapper
+  around ``write`` can observe (the state side channel).
+
+An optional *guard* hook runs before a command packet is executed; the
+dynamic-model detector of Section IV installs itself there, the paper's
+suggested "last computational component before the motor controllers".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.errors import PacketError
+from repro.hw.encoder import EncoderBank
+from repro.hw.motor_controller import MotorController
+from repro.hw.plc import Plc
+from repro.hw.usb_packet import (
+    CommandPacket,
+    decode_command_packet,
+    encode_feedback_packet,
+)
+
+#: A guard receives the decoded packet and the raw bytes and returns True to
+#: allow execution, False to block it.
+Guard = Callable[[CommandPacket, bytes], bool]
+
+
+class UsbBoard:
+    """One USB interface board driving three motor channels."""
+
+    def __init__(
+        self,
+        motor_controller: MotorController,
+        plc: Plc,
+        encoders: Optional[EncoderBank] = None,
+        guard: Optional[Guard] = None,
+    ) -> None:
+        self.motor_controller = motor_controller
+        self.plc = plc
+        self.encoders = encoders or EncoderBank()
+        self.guard = guard
+        self.packets_received = 0
+        self.packets_blocked = 0
+        self.malformed_packets = 0
+        self._last_packet: Optional[CommandPacket] = None
+
+    # -- DeviceFile interface ---------------------------------------------------
+
+    def fd_write(self, data: bytes) -> int:
+        """Receive a command packet from the control software.
+
+        No integrity verification is performed (the vulnerability); a
+        malformed length is dropped, as real firmware drops short URBs.
+        """
+        try:
+            packet = decode_command_packet(data)
+        except PacketError:
+            self.malformed_packets += 1
+            return len(data)
+        self.packets_received += 1
+        self._last_packet = packet
+        self.plc.observe_packet(packet.state, packet.watchdog)
+        if self.guard is not None and not self.guard(packet, data):
+            # Blocked: the motors get a null (zero-current) command for
+            # this cycle instead of the suspicious one — torque-neutral,
+            # so the arm holds its state apart from gravity/friction.
+            self.packets_blocked += 1
+            self.motor_controller.latch([0, 0, 0])
+            return len(data)
+        self.motor_controller.latch(packet.dac_values[:3])
+        return len(data)
+
+    def fd_read(self, max_bytes: int) -> bytes:
+        """Return a feedback packet with current encoder counts."""
+        counts = self.encoders.to_counts(self.motor_controller.plant.mpos)
+        packet = encode_feedback_packet(
+            state=self.plc.observed_state,
+            watchdog=bool(self._last_packet.watchdog) if self._last_packet else False,
+            encoder_counts=list(counts) + [0] * (8 - len(counts)),
+        )
+        return packet[:max_bytes]
+
+    # -- diagnostics ------------------------------------------------------------
+
+    @property
+    def last_packet(self) -> Optional[CommandPacket]:
+        """The most recently received command packet."""
+        return self._last_packet
+
+    def encoder_counts(self) -> List[int]:
+        """Current encoder counts (test/diagnostic convenience)."""
+        return list(self.encoders.to_counts(self.motor_controller.plant.mpos))

@@ -1,0 +1,50 @@
+"""Kinematics of the RAVEN II positioning mechanism.
+
+The RAVEN II arm is a cable-driven spherical mechanism: the first two
+(rotational) joints rotate the tool axis about a fixed remote centre of
+motion (RCM), and the third (translational) joint inserts the instrument
+along that axis.  The paper models exactly these three positioning joints;
+the remaining four instrument DOF affect only orientation and are handled
+kinematically (:mod:`repro.kinematics.wrist`).
+
+Public API
+----------
+- :class:`SphericalArm` — forward/inverse kinematics of the 2R+P chain.
+- :class:`ArmGeometry` — link cone angles and base transform.
+- :func:`position_jacobian` — analytic Jacobian of the tool tip.
+- :class:`Workspace` — joint-limit and reachability checks.
+- :mod:`repro.kinematics.frames` — rotation/quaternion helpers.
+"""
+
+from repro.kinematics.frames import (
+    quat_conjugate,
+    quat_multiply,
+    quat_normalize,
+    quat_rotate,
+    quat_to_matrix,
+    matrix_to_quat,
+    rot_x,
+    rot_y,
+    rot_z,
+)
+from repro.kinematics.spherical_arm import ArmGeometry, SphericalArm
+from repro.kinematics.jacobian import position_jacobian
+from repro.kinematics.workspace import Workspace
+from repro.kinematics.wrist import WristKinematics
+
+__all__ = [
+    "ArmGeometry",
+    "SphericalArm",
+    "Workspace",
+    "WristKinematics",
+    "position_jacobian",
+    "quat_conjugate",
+    "quat_multiply",
+    "quat_normalize",
+    "quat_rotate",
+    "quat_to_matrix",
+    "matrix_to_quat",
+    "rot_x",
+    "rot_y",
+    "rot_z",
+]

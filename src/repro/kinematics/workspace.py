@@ -1,0 +1,86 @@
+"""Workspace and joint-limit checks for the RAVEN II positioning arm.
+
+The RAVEN control software verifies that desired joint positions stay
+within the robot workspace before commanding the motors; the same limits
+are reused by the dynamic-model detector to classify estimated next states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro import constants
+from repro.errors import WorkspaceError
+
+
+@dataclass(frozen=True)
+class Workspace:
+    """Joint-limit box for the three positioning joints.
+
+    Attributes
+    ----------
+    joint1_limits, joint2_limits:
+        (min, max) in radians for the two rotational joints.
+    joint3_limits:
+        (min, max) insertion depth in metres.
+    """
+
+    joint1_limits: Tuple[float, float] = constants.JOINT1_LIMITS_RAD
+    joint2_limits: Tuple[float, float] = constants.JOINT2_LIMITS_RAD
+    joint3_limits: Tuple[float, float] = constants.JOINT3_LIMITS_M
+
+    def __post_init__(self) -> None:
+        for lo, hi in (self.joint1_limits, self.joint2_limits, self.joint3_limits):
+            if lo >= hi:
+                raise ValueError(f"invalid joint limit range ({lo}, {hi})")
+
+    @property
+    def lower(self) -> np.ndarray:
+        """Lower joint-limit vector."""
+        return np.array(
+            [self.joint1_limits[0], self.joint2_limits[0], self.joint3_limits[0]]
+        )
+
+    @property
+    def upper(self) -> np.ndarray:
+        """Upper joint-limit vector."""
+        return np.array(
+            [self.joint1_limits[1], self.joint2_limits[1], self.joint3_limits[1]]
+        )
+
+    def contains(self, q: Sequence[float], margin: float = 0.0) -> bool:
+        """Whether joint vector ``q`` lies within the limits.
+
+        ``margin`` shrinks the box symmetrically (useful for conservative
+        checks on *desired* positions, matching the RAVEN software which
+        rejects targets near the boundary).
+        """
+        q = np.asarray(q, dtype=float)
+        return bool(
+            np.all(q >= self.lower + margin) and np.all(q <= self.upper - margin)
+        )
+
+    def clamp(self, q: Sequence[float]) -> np.ndarray:
+        """Project joint vector ``q`` onto the limit box."""
+        return np.clip(np.asarray(q, dtype=float), self.lower, self.upper)
+
+    def require(self, q: Sequence[float], what: str = "joint vector") -> None:
+        """Raise :class:`WorkspaceError` if ``q`` violates the limits."""
+        if not self.contains(q):
+            raise WorkspaceError(f"{what} {np.asarray(q)} outside workspace limits")
+
+    def violation(self, q: Sequence[float]) -> np.ndarray:
+        """Per-joint distance outside the box (zero when inside)."""
+        q = np.asarray(q, dtype=float)
+        below = np.maximum(self.lower - q, 0.0)
+        above = np.maximum(q - self.upper, 0.0)
+        return below + above
+
+    def neutral(self) -> np.ndarray:
+        """A comfortable mid-workspace pose used as the homing target."""
+        mid = 0.5 * (self.lower + self.upper)
+        mid[2] = constants.JOINT3_NEUTRAL_M
+        return mid

@@ -1,0 +1,34 @@
+"""Simulation framework (Figure 7(a) of the paper).
+
+Wires the master console emulator, the network channel, the control
+software process (with any preloaded malicious libraries), the USB board,
+the PLC and the physical plant into a single deterministic 1 kHz loop, and
+records everything needed by the evaluation.
+
+Public API
+----------
+- :class:`SurgicalRig`, :class:`RigConfig` — system wiring and execution.
+- :class:`RunTrace` — recorded run data with impact analysis helpers.
+- :mod:`repro.sim.runner` — high-level experiment entry points.
+"""
+
+from repro.sim.trace import RunTrace
+from repro.sim.rig import RigConfig, SurgicalRig
+from repro.sim.runner import (
+    run_fault_free,
+    run_model_validation,
+    run_scenario_a,
+    run_scenario_b,
+    train_thresholds,
+)
+
+__all__ = [
+    "RigConfig",
+    "RunTrace",
+    "SurgicalRig",
+    "run_fault_free",
+    "run_model_validation",
+    "run_scenario_a",
+    "run_scenario_b",
+    "train_thresholds",
+]

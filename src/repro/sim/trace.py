@@ -1,0 +1,240 @@
+"""Recorded run data and physical-impact analysis.
+
+A :class:`RunTrace` stores the per-cycle state of one simulated run —
+controller view (desired/actual positions, DAC commands, state) and plant
+truth (joint state, tool-tip position) — plus the discrete events (E-STOPs,
+safety trips, detector alerts, attack activations).
+
+The central impact metric is the *abrupt jump*: the maximum displacement of
+the true tool tip within a sliding window.  A run exhibits an adverse
+impact when that jump exceeds the 1 mm surgical-safety threshold the paper
+adopts from expert surgeons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro import constants
+from repro.control.state_machine import RobotState
+
+
+@dataclass
+class RunTrace:
+    """Complete record of one simulated run."""
+
+    dt: float = constants.CONTROL_PERIOD_S
+    times: List[float] = field(default_factory=list)
+    states: List[RobotState] = field(default_factory=list)
+    tip_pos: List[np.ndarray] = field(default_factory=list)
+    pos_d: List[np.ndarray] = field(default_factory=list)
+    jpos: List[np.ndarray] = field(default_factory=list)
+    jvel: List[np.ndarray] = field(default_factory=list)
+    mpos: List[np.ndarray] = field(default_factory=list)
+    dac: List[np.ndarray] = field(default_factory=list)
+
+    estop_events: List[Tuple[float, str]] = field(default_factory=list)
+    safety_trip_cycles: List[int] = field(default_factory=list)
+    detector_alert_cycles: List[int] = field(default_factory=list)
+    attack_first_cycle: Optional[int] = None
+    attack_activations: int = 0
+    seed: Optional[int] = None
+    label: str = ""
+
+    # -- recording ---------------------------------------------------------------
+
+    def record(
+        self,
+        time: float,
+        state: RobotState,
+        tip_pos: np.ndarray,
+        pos_d: np.ndarray,
+        jpos: np.ndarray,
+        jvel: np.ndarray,
+        mpos: np.ndarray,
+        dac: np.ndarray,
+    ) -> None:
+        """Append one cycle."""
+        self.times.append(time)
+        self.states.append(state)
+        self.tip_pos.append(tip_pos)
+        self.pos_d.append(pos_d)
+        self.jpos.append(jpos)
+        self.jvel.append(jvel)
+        self.mpos.append(mpos)
+        self.dac.append(dac)
+
+    # -- array views ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @property
+    def time_array(self) -> np.ndarray:
+        """Times as an (n,) array."""
+        return np.asarray(self.times)
+
+    @property
+    def tip_array(self) -> np.ndarray:
+        """True tool-tip positions as an (n, 3) array."""
+        return np.vstack(self.tip_pos) if self.tip_pos else np.empty((0, 3))
+
+    @property
+    def jpos_array(self) -> np.ndarray:
+        """Joint positions as an (n, 3) array."""
+        return np.vstack(self.jpos) if self.jpos else np.empty((0, 3))
+
+    @property
+    def jvel_array(self) -> np.ndarray:
+        """Joint velocities as an (n, 3) array."""
+        return np.vstack(self.jvel) if self.jvel else np.empty((0, 3))
+
+    @property
+    def mpos_array(self) -> np.ndarray:
+        """Motor positions as an (n, 3) array."""
+        return np.vstack(self.mpos) if self.mpos else np.empty((0, 3))
+
+    @property
+    def dac_array(self) -> np.ndarray:
+        """DAC commands as an (n, 3) array."""
+        return np.vstack(self.dac) if self.dac else np.empty((0, 3))
+
+    @property
+    def estop_reasons(self) -> List[str]:
+        """All E-STOP reasons recorded during the run."""
+        return [reason for _t, reason in self.estop_events]
+
+    # -- impact analysis --------------------------------------------------------------
+
+    def max_jump(
+        self, window_s: float = constants.UNSAFE_JUMP_WINDOW_S
+    ) -> float:
+        """Maximum tool-tip displacement within any window of ``window_s``.
+
+        This is the "abrupt jump" magnitude: how far the tip moved over a
+        short horizon, computed over the whole run.
+        """
+        tips = self.tip_array
+        if len(tips) < 2:
+            return 0.0
+        w = max(1, int(round(window_s / self.dt)))
+        best = 0.0
+        for lag in range(1, w + 1):
+            if lag >= len(tips):
+                break
+            disp = np.linalg.norm(tips[lag:] - tips[:-lag], axis=1)
+            peak = float(disp.max())
+            if peak > best:
+                best = peak
+        return best
+
+    def adverse_impact(
+        self,
+        threshold_m: float = constants.UNSAFE_JUMP_M,
+        window_s: float = constants.UNSAFE_JUMP_WINDOW_S,
+    ) -> bool:
+        """Whether an abrupt jump beyond ``threshold_m`` occurred."""
+        return self.max_jump(window_s) > threshold_m
+
+    def max_deviation_from(self, other: "RunTrace") -> float:
+        """Max tip distance from another (e.g. fault-free) trace."""
+        n = min(len(self), len(other))
+        if n == 0:
+            return 0.0
+        a = self.tip_array[:n]
+        b = other.tip_array[:n]
+        return float(np.linalg.norm(a - b, axis=1).max())
+
+    def estop_occurred(self) -> bool:
+        """Whether the run ended up (at any point) in E-STOP after start."""
+        return bool(self.estop_events)
+
+    def pedal_down_fraction(self) -> float:
+        """Fraction of cycles spent engaged (Pedal Down)."""
+        if not self.states:
+            return 0.0
+        down = sum(1 for s in self.states if s is RobotState.PEDAL_DOWN)
+        return down / len(self.states)
+
+    # -- persistence ---------------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Persist the trace as a compressed ``.npz`` archive.
+
+        Stores the numeric time series plus the discrete events; intended
+        for archiving campaign evidence and for offline visualization.
+        """
+        from pathlib import Path
+
+        path = Path(path)
+        state_codes = np.array([s.value for s in self.states])
+        estop_times = np.array([t for t, _r in self.estop_events])
+        estop_reasons = np.array([r for _t, r in self.estop_events], dtype=object)
+        np.savez_compressed(
+            path,
+            dt=self.dt,
+            times=self.time_array,
+            states=state_codes,
+            tip_pos=self.tip_array,
+            pos_d=np.vstack(self.pos_d) if self.pos_d else np.empty((0, 3)),
+            jpos=self.jpos_array,
+            jvel=self.jvel_array,
+            mpos=self.mpos_array,
+            dac=self.dac_array,
+            safety_trip_cycles=np.array(self.safety_trip_cycles, dtype=int),
+            detector_alert_cycles=np.array(self.detector_alert_cycles, dtype=int),
+            attack_first_cycle=(
+                -1 if self.attack_first_cycle is None else self.attack_first_cycle
+            ),
+            attack_activations=self.attack_activations,
+            seed=-1 if self.seed is None else self.seed,
+            label=self.label,
+            estop_times=estop_times,
+            estop_reasons=estop_reasons,
+        )
+
+    @classmethod
+    def load(cls, path) -> "RunTrace":
+        """Inverse of :meth:`save`."""
+        data = np.load(path, allow_pickle=True)
+        trace = cls(dt=float(data["dt"]))
+        trace.times = list(data["times"])
+        trace.states = [RobotState(str(v)) for v in data["states"]]
+        trace.tip_pos = list(data["tip_pos"])
+        trace.pos_d = list(data["pos_d"])
+        trace.jpos = list(data["jpos"])
+        trace.jvel = list(data["jvel"])
+        trace.mpos = list(data["mpos"])
+        trace.dac = list(data["dac"])
+        trace.safety_trip_cycles = [int(v) for v in data["safety_trip_cycles"]]
+        trace.detector_alert_cycles = [
+            int(v) for v in data["detector_alert_cycles"]
+        ]
+        first = int(data["attack_first_cycle"])
+        trace.attack_first_cycle = None if first < 0 else first
+        trace.attack_activations = int(data["attack_activations"])
+        seed = int(data["seed"])
+        trace.seed = None if seed < 0 else seed
+        trace.label = str(data["label"])
+        trace.estop_events = [
+            (float(t), str(r))
+            for t, r in zip(data["estop_times"], data["estop_reasons"])
+        ]
+        return trace
+
+    def summary(self) -> dict:
+        """Compact per-run summary used by the campaigns."""
+        return {
+            "cycles": len(self),
+            "max_jump_mm": self.max_jump() * 1e3,
+            "adverse_impact": self.adverse_impact(),
+            "estop": self.estop_occurred(),
+            "estop_reasons": self.estop_reasons,
+            "raven_trips": len(self.safety_trip_cycles),
+            "detector_alerts": len(self.detector_alert_cycles),
+            "attack_fired": self.attack_activations > 0,
+            "pedal_down_fraction": self.pedal_down_fraction(),
+        }

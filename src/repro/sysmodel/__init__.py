@@ -1,0 +1,38 @@
+"""Simulated Linux system-call and dynamic-linking layer.
+
+The paper's attack hinges on two OS features:
+
+1. programs call runtime-library functions (``write``, ``read``, ...) which
+   wrap system calls, and
+2. the dynamic linker honours ``LD_PRELOAD`` / ``/etc/ld.so.preload``: a
+   preloaded shared object exporting a function with the same name as a
+   runtime-library function *wraps* it — the preloaded function is called
+   instead and may invoke the original, skip it, or do extra work.
+
+This package models exactly that: :class:`Process` objects issue system
+calls through a per-process resolved symbol table; a :class:`DynamicLinker`
+resolves each symbol through the chain of preloaded libraries down to the
+real implementation, mirroring ``dlsym(RTLD_NEXT)`` semantics.
+
+Public API
+----------
+- :class:`Process` — a process with file descriptors and syscalls.
+- :class:`DeviceFile` — protocol for fd-backed devices.
+- :class:`SharedLibrary` — a shared object exporting wrapper symbols.
+- :class:`DynamicLinker` — the loader honouring the preload lists.
+- :class:`SystemEnvironment` — LD_PRELOAD / ld.so.preload state.
+"""
+
+from repro.sysmodel.process import DeviceFile, Process
+from repro.sysmodel.linker import DynamicLinker, SharedLibrary, SystemEnvironment
+from repro.sysmodel.syscalls import SYSCALL_NAMES, real_syscalls
+
+__all__ = [
+    "SYSCALL_NAMES",
+    "DeviceFile",
+    "DynamicLinker",
+    "Process",
+    "SharedLibrary",
+    "SystemEnvironment",
+    "real_syscalls",
+]

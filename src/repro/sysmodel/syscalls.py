@@ -1,0 +1,43 @@
+"""Real (un-wrapped) system-call implementations.
+
+Each real syscall dispatches to the :class:`~repro.sysmodel.process.DeviceFile`
+behind the file descriptor.  The dynamic linker chains preloaded wrappers
+*in front of* these functions, so a wrapper receives the next function in
+the chain exactly like a real ``LD_PRELOAD`` wrapper obtains the original
+via ``dlsym(RTLD_NEXT, ...)``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+from repro.errors import SyscallError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sysmodel.process import Process
+
+#: Names of the runtime-library calls the linker knows how to interpose.
+SYSCALL_NAMES = ("write", "read", "recvfrom")
+
+
+def real_syscalls(process: "Process") -> Dict[str, Callable]:
+    """Build the un-wrapped symbol table for ``process``."""
+
+    def real_write(fd: int, data: bytes) -> int:
+        if not isinstance(data, (bytes, bytearray)):
+            raise SyscallError("write expects bytes")
+        return process.device(fd).fd_write(bytes(data))
+
+    def real_read(fd: int, max_bytes: int) -> bytes:
+        return process.device(fd).fd_read(max_bytes)
+
+    def real_recvfrom(fd: int, max_bytes: int) -> Optional[bytes]:
+        device = process.device(fd)
+        recv = getattr(device, "fd_recvfrom", None)
+        if recv is None:
+            raise SyscallError(
+                f"fd {fd} ({type(device).__name__}) is not a socket"
+            )
+        return recv(max_bytes)
+
+    return {"write": real_write, "read": real_read, "recvfrom": real_recvfrom}

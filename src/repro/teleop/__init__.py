@@ -1,0 +1,32 @@
+"""Teleoperation: ITP protocol, master console emulator, network channel.
+
+The desired position/orientation of the robotic arms, foot-pedal status and
+control mode travel from the master console to the control software over
+UDP using the Interoperable Teleoperation Protocol (ITP).  The paper's
+evaluation replaces the human operator with a *master console emulator*
+replaying surgical trajectories; :class:`MasterConsoleEmulator` plays that
+role here.
+
+Public API
+----------
+- :class:`ItpPacket`, :func:`encode_itp`, :func:`decode_itp` — the protocol.
+- :class:`UdpChannel`, :class:`UdpSocket` — lossy/delaying datagram transport.
+- :class:`PedalSchedule` — scripted foot-pedal events.
+- :class:`MasterConsoleEmulator` — trajectory playback onto the wire.
+"""
+
+from repro.teleop.itp import ITP_MODE_CARTESIAN, ItpPacket, decode_itp, encode_itp
+from repro.teleop.network import UdpChannel, UdpSocket
+from repro.teleop.pedal import PedalSchedule
+from repro.teleop.console import MasterConsoleEmulator
+
+__all__ = [
+    "ITP_MODE_CARTESIAN",
+    "ItpPacket",
+    "MasterConsoleEmulator",
+    "PedalSchedule",
+    "UdpChannel",
+    "UdpSocket",
+    "decode_itp",
+    "encode_itp",
+]

@@ -1,0 +1,81 @@
+"""Master console emulator.
+
+"A master console emulator that mimics the teleoperation console
+functionality by generating user input packets based on previously
+collected trajectories of surgical movements made by a human operator and
+sends them to the RAVEN control software." (paper, Section IV.A)
+
+Every control period the emulator samples the trajectory, forms the
+incremental motion since the previous tick, stamps the pedal state from
+its :class:`~repro.teleop.pedal.PedalSchedule`, and transmits the encoded
+ITP packet onto the UDP channel.  Increments are only transmitted while
+the pedal is down (the console is disengaged otherwise), matching the
+robot's clutching behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import constants
+from repro.control.trajectory import Trajectory
+from repro.teleop.itp import ItpPacket, encode_itp
+from repro.teleop.network import UdpChannel
+from repro.teleop.pedal import PedalSchedule
+
+
+class MasterConsoleEmulator:
+    """Replays a trajectory as a stream of ITP packets."""
+
+    def __init__(
+        self,
+        trajectory: Trajectory,
+        channel: UdpChannel,
+        pedal: Optional[PedalSchedule] = None,
+        motion_start: float = 0.0,
+    ) -> None:
+        """Create the emulator.
+
+        Parameters
+        ----------
+        trajectory:
+            The desired tool-tip path to replay.
+        channel:
+            Console-to-robot UDP channel.
+        pedal:
+            Foot-pedal schedule; pedal always down when omitted.
+        motion_start:
+            Trajectory time origin: motion is held still before this time
+            (lets the robot finish homing first).
+        """
+        self.trajectory = trajectory
+        self.channel = channel
+        self.pedal = pedal or PedalSchedule.always_down()
+        self.motion_start = motion_start
+        self._sequence = 0
+        self._prev_pos: Optional[np.ndarray] = None
+
+    def tick(self, now: float, dt: float = constants.CONTROL_PERIOD_S) -> ItpPacket:
+        """Emit the packet for time ``now`` and send it on the channel."""
+        pedal_down = self.pedal.state(now)
+        t_traj = max(0.0, now - self.motion_start)
+        pos = self.trajectory.position(t_traj, dt)
+        if self._prev_pos is None or not pedal_down or t_traj <= 0.0:
+            dpos = np.zeros(3)
+        else:
+            dpos = pos - self._prev_pos
+        self._prev_pos = pos
+
+        packet = ItpPacket(
+            sequence=self._sequence, pedal_down=pedal_down, dpos=dpos
+        )
+        self._sequence += 1
+        self.channel.send(encode_itp(packet), now)
+        return packet
+
+    @property
+    def sequence(self) -> int:
+        """Next sequence number to be transmitted."""
+        return self._sequence

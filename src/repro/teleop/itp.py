@@ -1,0 +1,135 @@
+"""Interoperable Teleoperation Protocol (ITP) packet codec.
+
+ITP is the UDP-based protocol between the master console and the RAVEN
+control software.  Each packet carries the surgeon's *incremental* motion
+command for one control period plus foot-pedal status and control mode.
+
+Wire format (40 bytes, big-endian):
+
+    offset  size  field
+    0       4     sequence number (uint32)
+    4       1     foot pedal (0 = up, 1 = down)
+    5       1     control mode (1 = Cartesian teleoperation)
+    6       12    position increment, 3 x int32 nanometres
+    18      16    orientation increment quaternion, 4 x int32 (Q30 fixed point)
+    34      4     reserved
+    38      2     additive 16-bit checksum of bytes 0-37
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro import constants
+from repro.errors import ChecksumError, PacketError
+
+#: Cartesian incremental teleoperation mode.
+ITP_MODE_CARTESIAN = 1
+
+_NM_PER_M = 1e9
+_Q30 = float(1 << 30)
+_INT32_MIN, _INT32_MAX = -(1 << 31), (1 << 31) - 1
+
+
+@dataclass(frozen=True)
+class ItpPacket:
+    """One console command: incremental motion + pedal + mode."""
+
+    sequence: int
+    pedal_down: bool
+    dpos: np.ndarray
+    dquat: np.ndarray = field(
+        default_factory=lambda: np.array([1.0, 0.0, 0.0, 0.0])
+    )
+    mode: int = ITP_MODE_CARTESIAN
+
+    def __post_init__(self) -> None:
+        dpos = np.asarray(self.dpos, dtype=float)
+        dquat = np.asarray(self.dquat, dtype=float)
+        if dpos.shape != (3,):
+            raise PacketError("dpos must be a 3-vector")
+        if dquat.shape != (4,):
+            raise PacketError("dquat must be a quaternion (w, x, y, z)")
+        object.__setattr__(self, "dpos", dpos)
+        object.__setattr__(self, "dquat", dquat)
+
+
+def _checksum16(data: bytes) -> int:
+    return sum(data) & 0xFFFF
+
+
+def encode_itp(packet: ItpPacket) -> bytes:
+    """Serialize an :class:`ItpPacket` to its 40-byte wire form."""
+    out = bytearray(constants.ITP_PACKET_SIZE)
+    out[0:4] = (packet.sequence & 0xFFFFFFFF).to_bytes(4, "big")
+    out[4] = 1 if packet.pedal_down else 0
+    out[5] = packet.mode & 0xFF
+    for i, value in enumerate(packet.dpos):
+        scaled = int(round(value * _NM_PER_M))
+        if not (_INT32_MIN <= scaled <= _INT32_MAX):
+            raise PacketError(f"position increment {value} m out of range")
+        out[6 + 4 * i : 10 + 4 * i] = scaled.to_bytes(4, "big", signed=True)
+    for i, value in enumerate(packet.dquat):
+        scaled = int(round(value * _Q30))
+        scaled = max(_INT32_MIN, min(_INT32_MAX, scaled))
+        out[18 + 4 * i : 22 + 4 * i] = scaled.to_bytes(4, "big", signed=True)
+    out[38:40] = _checksum16(bytes(out[:38])).to_bytes(2, "big")
+    return bytes(out)
+
+
+def decode_itp(data: bytes, verify_checksum: bool = True) -> ItpPacket:
+    """Parse a 40-byte wire packet back to an :class:`ItpPacket`.
+
+    Raises
+    ------
+    PacketError
+        On wrong length.
+    ChecksumError
+        On checksum mismatch when ``verify_checksum`` is set.  Unlike the
+        USB boards, the *control software* does validate console packets.
+    """
+    if len(data) != constants.ITP_PACKET_SIZE:
+        raise PacketError(
+            f"ITP packet must be {constants.ITP_PACKET_SIZE} bytes, got {len(data)}"
+        )
+    if verify_checksum:
+        expected = _checksum16(data[:38])
+        got = int.from_bytes(data[38:40], "big")
+        if expected != got:
+            raise ChecksumError(
+                f"ITP checksum mismatch: expected {expected:#06x}, got {got:#06x}"
+            )
+    sequence = int.from_bytes(data[0:4], "big")
+    pedal_down = bool(data[4])
+    mode = data[5]
+    dpos = np.array(
+        [
+            int.from_bytes(data[6 + 4 * i : 10 + 4 * i], "big", signed=True)
+            / _NM_PER_M
+            for i in range(3)
+        ]
+    )
+    dquat = np.array(
+        [
+            int.from_bytes(data[18 + 4 * i : 22 + 4 * i], "big", signed=True) / _Q30
+            for i in range(4)
+        ]
+    )
+    return ItpPacket(
+        sequence=sequence, pedal_down=pedal_down, dpos=dpos, dquat=dquat, mode=mode
+    )
+
+
+def clamp_increment(
+    dpos: np.ndarray, limit: Optional[float] = None
+) -> np.ndarray:
+    """Clamp a position increment to the per-packet safety limit.
+
+    The control software rejects/clips increments exceeding
+    :data:`repro.constants.ITP_MAX_INCREMENT_M` per axis.
+    """
+    limit = constants.ITP_MAX_INCREMENT_M if limit is None else limit
+    return np.clip(np.asarray(dpos, dtype=float), -limit, limit)

@@ -1,0 +1,177 @@
+"""Datagram transport between the console and the control software.
+
+A :class:`UdpChannel` carries datagrams with configurable fixed latency,
+random jitter and loss probability — enough to study the network-level
+degradation prior work focused on (Bonaci et al.'s DoS/MITM attacks) and to
+drive the control software the same way the real ITP/UDP link does.
+
+A :class:`UdpSocket` adapts one end of the channel to the
+:class:`~repro.sysmodel.process.DeviceFile` protocol so the control process
+receives packets via the ``recvfrom`` system call — the hook point for the
+paper's scenario-A attack (injection of unintended user inputs *after* they
+are received by the control software).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+class UdpChannel:
+    """One-directional datagram channel with latency, jitter and loss."""
+
+    def __init__(
+        self,
+        latency_s: float = 0.0,
+        jitter_s: float = 0.0,
+        loss_probability: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if latency_s < 0 or jitter_s < 0:
+            raise ValueError("latency and jitter must be non-negative")
+        if not (0.0 <= loss_probability < 1.0):
+            raise ValueError("loss_probability must be in [0, 1)")
+        if (jitter_s > 0 or loss_probability > 0) and rng is None:
+            raise ValueError("rng is required for jitter or loss")
+        self.latency_s = latency_s
+        self.jitter_s = jitter_s
+        self.loss_probability = loss_probability
+        self._rng = rng
+        self._in_flight: List[Tuple[float, int, bytes]] = []
+        self._seq = 0
+        self.sent = 0
+        self.dropped = 0
+
+    def send(self, data: bytes, now: float) -> None:
+        """Enqueue a datagram at time ``now``."""
+        self.sent += 1
+        if self.loss_probability > 0 and self._rng.random() < self.loss_probability:
+            self.dropped += 1
+            return
+        delay = self.latency_s
+        if self.jitter_s > 0:
+            delay += float(self._rng.uniform(0.0, self.jitter_s))
+        heapq.heappush(self._in_flight, (now + delay, self._seq, data))
+        self._seq += 1
+
+    def receive(self, now: float) -> Optional[bytes]:
+        """Pop the next datagram whose delivery time has arrived, else None."""
+        if self._in_flight and self._in_flight[0][0] <= now:
+            return heapq.heappop(self._in_flight)[2]
+        return None
+
+    def pending(self) -> int:
+        """Number of datagrams still in flight."""
+        return len(self._in_flight)
+
+
+class UdpSocket:
+    """Receiving socket bound to a channel; a DeviceFile for ``recvfrom``.
+
+    The socket needs to know the current simulation time to honour channel
+    latency; the simulation rig advances it via :meth:`set_time`.
+    """
+
+    def __init__(self, channel: UdpChannel, port: int) -> None:
+        self.channel = channel
+        self.port = port
+        self._now = 0.0
+        self.received = 0
+
+    def set_time(self, now: float) -> None:
+        """Advance the socket's notion of time (called by the rig)."""
+        self._now = now
+
+    # -- DeviceFile protocol -----------------------------------------------------
+
+    def fd_recvfrom(self, max_bytes: int) -> Optional[bytes]:
+        """Non-blocking receive; ``None`` when no datagram is deliverable."""
+        data = self.channel.receive(self._now)
+        if data is None:
+            return None
+        self.received += 1
+        return data[:max_bytes]
+
+    def fd_write(self, data: bytes) -> int:
+        """Sending through the receive socket loops back onto the channel."""
+        self.channel.send(data, self._now)
+        return len(data)
+
+    def fd_read(self, max_bytes: int) -> bytes:
+        """``read`` on a datagram socket behaves like ``recvfrom`` or empty."""
+        return self.fd_recvfrom(max_bytes) or b""
+
+
+class ExfiltrationSink:
+    """An attacker-side UDP endpoint that records everything sent to it.
+
+    Used by the eavesdropping malware to "forward the logged USB
+    communication to the attacker on a remote server using UDP packets".
+    """
+
+    def __init__(self) -> None:
+        self.datagrams: List[bytes] = []
+
+    # -- DeviceFile protocol -----------------------------------------------------
+
+    def fd_write(self, data: bytes) -> int:
+        self.datagrams.append(bytes(data))
+        return len(data)
+
+    def fd_read(self, max_bytes: int) -> bytes:
+        return b""
+
+    def __len__(self) -> int:
+        return len(self.datagrams)
+
+
+class LoopbackExfiltration:
+    """Exfiltration over a *real* UDP socket to localhost.
+
+    The in-memory :class:`ExfiltrationSink` is convenient for tests, but
+    the Table II overhead measurement needs the logging wrapper to pay the
+    true cost of a datagram send — which on the paper's testbed dominates
+    the wrapper's overhead.  This endpoint performs an actual
+    ``sendto(2)`` on the loopback interface (no external network needed).
+    """
+
+    def __init__(self) -> None:
+        import socket
+
+        self._rx = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self._rx.bind(("127.0.0.1", 0))
+        self._rx.setblocking(False)
+        self._tx = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self._addr = self._rx.getsockname()
+        self.sent = 0
+
+    # -- DeviceFile protocol -----------------------------------------------------
+
+    def fd_write(self, data: bytes) -> int:
+        self._tx.sendto(data, self._addr)
+        self.sent += 1
+        return len(data)
+
+    def fd_read(self, max_bytes: int) -> bytes:
+        try:
+            return self._rx.recv(max_bytes)
+        except BlockingIOError:
+            return b""
+
+    def drain(self, limit: int = 1_000_000) -> List[bytes]:
+        """Receive everything currently queued on the loopback socket."""
+        out = []
+        for _ in range(limit):
+            data = self.fd_read(65536)
+            if not data:
+                break
+            out.append(data)
+        return out
+
+    def close(self) -> None:
+        """Release both sockets."""
+        self._rx.close()
+        self._tx.close()

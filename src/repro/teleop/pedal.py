@@ -1,0 +1,42 @@
+"""Scripted foot-pedal events for the master console emulator."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+
+class PedalSchedule:
+    """Time-ordered pedal press/release events.
+
+    The schedule is a list of ``(time_s, pressed)`` pairs; the pedal state
+    at time ``t`` is that of the latest event at or before ``t`` (initially
+    released).
+    """
+
+    def __init__(self, events: Iterable[Tuple[float, bool]] = ()) -> None:
+        self.events: List[Tuple[float, bool]] = sorted(events, key=lambda e: e[0])
+
+    @classmethod
+    def pressed_during(cls, start: float, end: float) -> "PedalSchedule":
+        """Pedal held down on ``[start, end)`` and released otherwise."""
+        if end <= start:
+            raise ValueError("end must be after start")
+        return cls([(start, True), (end, False)])
+
+    @classmethod
+    def always_down(cls, from_time: float = 0.0) -> "PedalSchedule":
+        """Pedal pressed at ``from_time`` and never released."""
+        return cls([(from_time, True)])
+
+    def state(self, t: float) -> bool:
+        """Pedal state at time ``t`` (True = pressed)."""
+        pressed = False
+        for when, value in self.events:
+            if when > t:
+                break
+            pressed = value
+        return pressed
+
+    def edges_between(self, t0: float, t1: float) -> List[Tuple[float, bool]]:
+        """Events with ``t0 < time <= t1`` (exclusive/inclusive)."""
+        return [(when, value) for when, value in self.events if t0 < when <= t1]

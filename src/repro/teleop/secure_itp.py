@@ -1,0 +1,120 @@
+"""Secure ITP: authenticated teleoperation packets (Lee & Thuraisingham).
+
+The paper's related work discusses *Secure ITP* — adding TLS/DTLS-style
+authentication to the Interoperable Telesurgery Protocol so the console
+and robot authenticate each other and packets cannot be forged in transit.
+This module implements the datagram-level core of that idea:
+
+- every ITP packet is wrapped with a truncated HMAC-SHA256 tag over the
+  payload and a monotonically increasing sequence number;
+- the receiver rejects bad tags and replayed/stale sequence numbers.
+
+It exists to reproduce the paper's *negative* result as much as the
+positive one:
+
+- Secure ITP **does** stop man-in-the-middle modification of console
+  traffic (:mod:`repro.attacks.network`), because a tampered datagram
+  fails authentication; but
+- it does **not** stop the paper's scenario-A attack, because the
+  malicious ``recvfrom`` wrapper runs *inside the control process after
+  the packet has been received and authenticated* — "encryption
+  mechanisms ... may introduce significant overhead in the system
+  operation and still not eliminate the possibility of TOCTOU exploits".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Optional
+
+from repro import constants
+from repro.errors import PacketError
+from repro.teleop.itp import ItpPacket, decode_itp, encode_itp
+
+#: Bytes of the truncated HMAC-SHA256 tag appended to each packet.
+TAG_SIZE = 16
+
+#: Total size of a secured ITP datagram.
+SECURE_ITP_PACKET_SIZE = constants.ITP_PACKET_SIZE + TAG_SIZE
+
+
+class AuthenticationError(PacketError):
+    """Raised when a secured packet fails tag or freshness verification."""
+
+
+@dataclass
+class SecureChannelStats:
+    """Verification counters of one receiver."""
+
+    accepted: int = 0
+    bad_tag: int = 0
+    replayed: int = 0
+    malformed: int = 0
+
+
+class SecureItpSender:
+    """Console-side wrapper: sign each ITP packet before transmission."""
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) < 16:
+            raise ValueError("key must be at least 16 bytes")
+        self._key = key
+
+    def seal(self, packet: ItpPacket) -> bytes:
+        """Encode and authenticate one packet."""
+        payload = encode_itp(packet)
+        tag = hmac.new(self._key, payload, hashlib.sha256).digest()[:TAG_SIZE]
+        return payload + tag
+
+
+class SecureItpReceiver:
+    """Robot-side wrapper: verify tag and freshness, then decode.
+
+    Freshness uses the ITP sequence number: packets at or below the
+    highest accepted sequence are rejected as replays (UDP reordering of
+    a 1 kHz incremental stream is treated as loss, as the real control
+    software only acts on the latest packet anyway).
+    """
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) < 16:
+            raise ValueError("key must be at least 16 bytes")
+        self._key = key
+        self._last_sequence: Optional[int] = None
+        self.stats = SecureChannelStats()
+
+    def open(self, data: bytes) -> ItpPacket:
+        """Verify and decode one secured datagram.
+
+        Raises
+        ------
+        AuthenticationError
+            On wrong length, bad tag, or replayed sequence number.
+        """
+        if len(data) != SECURE_ITP_PACKET_SIZE:
+            self.stats.malformed += 1
+            raise AuthenticationError(
+                f"secured packet must be {SECURE_ITP_PACKET_SIZE} bytes, "
+                f"got {len(data)}"
+            )
+        payload, tag = data[: constants.ITP_PACKET_SIZE], data[constants.ITP_PACKET_SIZE :]
+        expected = hmac.new(self._key, payload, hashlib.sha256).digest()[:TAG_SIZE]
+        if not hmac.compare_digest(tag, expected):
+            self.stats.bad_tag += 1
+            raise AuthenticationError("HMAC verification failed")
+        packet = decode_itp(payload)
+        if self._last_sequence is not None and packet.sequence <= self._last_sequence:
+            self.stats.replayed += 1
+            raise AuthenticationError(
+                f"stale sequence {packet.sequence} "
+                f"(last accepted {self._last_sequence})"
+            )
+        self._last_sequence = packet.sequence
+        self.stats.accepted += 1
+        return packet
+
+    def reset(self) -> None:
+        """Forget the freshness state (new session)."""
+        self._last_sequence = None

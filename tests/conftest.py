@@ -1,0 +1,74 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.thresholds import SafetyThresholds
+from repro.dynamics.manipulator import ManipulatorDynamics
+from repro.dynamics.plant import RavenPlant
+from repro.kinematics.spherical_arm import SphericalArm
+from repro.kinematics.workspace import Workspace
+
+
+@pytest.fixture
+def rng():
+    """Deterministic random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def arm():
+    """Default-geometry spherical arm."""
+    return SphericalArm()
+
+
+@pytest.fixture
+def workspace():
+    """Default workspace limits."""
+    return Workspace()
+
+
+@pytest.fixture
+def dynamics():
+    """Default manipulator dynamics."""
+    return ManipulatorDynamics()
+
+
+@pytest.fixture
+def released_plant():
+    """A plant with brakes released, at the neutral pose."""
+    plant = RavenPlant(initial_jpos=Workspace().neutral())
+    plant.release_brakes()
+    return plant
+
+
+@pytest.fixture
+def loose_thresholds():
+    """Realistically wide thresholds: fault-free motion stays well under
+    them, but violent injections (tens of thousands of DAC counts) exceed
+    all three variable groups within a few cycles."""
+    return SafetyThresholds(
+        motor_velocity=np.array([15.0, 15.0, 8.0]),
+        motor_acceleration=np.array([1200.0, 1200.0, 900.0]),
+        joint_velocity=np.array([0.5, 0.5, 0.1]),
+    )
+
+
+@pytest.fixture
+def tight_thresholds():
+    """Narrow thresholds: almost any motion alarms."""
+    return SafetyThresholds(
+        motor_velocity=np.array([1e-6, 1e-6, 1e-6]),
+        motor_acceleration=np.array([1e-6, 1e-6, 1e-6]),
+        joint_velocity=np.array([1e-9, 1e-9, 1e-9]),
+    )
+
+
+def random_joint_vector(rng: np.random.Generator) -> np.ndarray:
+    """A random joint vector strictly inside the default workspace."""
+    ws = Workspace()
+    lo, hi = ws.lower, ws.upper
+    margin = 0.05 * (hi - lo)
+    return rng.uniform(lo + margin, hi - margin)

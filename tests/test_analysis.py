@@ -1,0 +1,162 @@
+"""Tests for repro.attacks.analysis (the offline analysis phase)."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.attacks.analysis import (
+    OfflineAnalysis,
+    byte_cardinalities,
+    byte_value_series,
+    find_watchdog_bit,
+    infer_state_byte,
+    infer_state_sequence,
+)
+from repro.control.state_machine import RobotState
+from repro.errors import AttackConfigError
+from repro.hw.usb_packet import encode_command_packet
+
+
+def synthetic_capture(segments, watchdog_half_period=8, dac_seed=0):
+    """Build packets walking through (state, length) segments."""
+    rng = np.random.default_rng(dac_seed)
+    packets = []
+    level = False
+    count = 0
+    for state, length in segments:
+        for _ in range(length):
+            count += 1
+            if count % watchdog_half_period == 0:
+                level = not level
+            dac = (
+                list(rng.integers(-6000, 6000, 3))
+                if state is RobotState.PEDAL_DOWN
+                else [0, 0, 0]
+            )
+            packets.append(encode_command_packet(state, level, dac))
+    return packets
+
+
+SESSION = [
+    (RobotState.E_STOP, 60),
+    (RobotState.INIT, 150),
+    (RobotState.PEDAL_UP, 120),
+    (RobotState.PEDAL_DOWN, 700),
+    (RobotState.PEDAL_UP, 80),
+    (RobotState.PEDAL_DOWN, 300),
+]
+
+
+class TestSeriesHelpers:
+    def test_byte_value_series_shape(self):
+        packets = synthetic_capture(SESSION)
+        series = byte_value_series(packets)
+        assert series.shape == (len(packets), constants.USB_PACKET_SIZE)
+
+    def test_empty_capture_rejected(self):
+        with pytest.raises(AttackConfigError):
+            byte_value_series([])
+
+    def test_mixed_lengths_rejected(self):
+        with pytest.raises(AttackConfigError):
+            byte_value_series([b"\x00" * 18, b"\x00" * 26])
+
+    def test_cardinalities(self):
+        packets = synthetic_capture(SESSION)
+        cards = byte_cardinalities(byte_value_series(packets))
+        assert cards[0] == 8  # 4 states x 2 watchdog levels
+        # Unused channels stay constant.
+        assert cards[8] == 1
+
+
+class TestWatchdogDiscovery:
+    def test_finds_configured_bit(self):
+        series = byte_value_series(synthetic_capture(SESSION))
+        assert find_watchdog_bit(series, 0) == constants.USB_WATCHDOG_BIT
+
+    def test_none_when_no_periodic_bit(self):
+        # A constant byte has no periodic bit.
+        series = np.zeros((500, 18), dtype=np.uint8)
+        assert find_watchdog_bit(series, 7) is None
+
+    def test_irregular_toggling_rejected(self, rng):
+        # Random toggling has a high interval CV.
+        series = np.zeros((500, 18), dtype=np.uint8)
+        series[:, 3] = rng.integers(0, 2, 500) << 2
+        assert find_watchdog_bit(series, 3, max_interval_cv=0.05) is None
+
+
+class TestStateByteInference:
+    def test_identifies_byte0(self):
+        series = byte_value_series(synthetic_capture(SESSION))
+        inference = infer_state_byte(series)
+        assert inference.byte_index == constants.USB_STATE_BYTE
+        assert inference.watchdog_bit == constants.USB_WATCHDOG_BIT
+        assert set(inference.masked_values) == {
+            constants.STATE_BYTE_ESTOP,
+            constants.STATE_BYTE_INIT,
+            constants.STATE_BYTE_PEDAL_UP,
+            constants.STATE_BYTE_PEDAL_DOWN,
+        }
+
+    def test_no_candidate_raises(self):
+        series = np.zeros((100, 18), dtype=np.uint8)  # all constant
+        with pytest.raises(AttackConfigError):
+            infer_state_byte(series)
+
+    def test_exclude_skips_bytes(self):
+        series = byte_value_series(synthetic_capture(SESSION))
+        with pytest.raises(AttackConfigError):
+            # Excluding Byte 0 leaves no step-like low-cardinality byte.
+            infer_state_byte(series, exclude=[0])
+
+
+class TestStateSequence:
+    def test_labels_follow_first_appearance(self):
+        series = byte_value_series(synthetic_capture(SESSION))
+        mapping, segments = infer_state_sequence(
+            series, 0, constants.USB_WATCHDOG_BIT
+        )
+        assert mapping[constants.STATE_BYTE_ESTOP] == "E-STOP"
+        assert mapping[constants.STATE_BYTE_PEDAL_DOWN] == "Pedal Down"
+        names = [name for _s, _e, name in segments]
+        assert names == [
+            "E-STOP", "Init", "Pedal Up", "Pedal Down", "Pedal Up", "Pedal Down",
+        ]
+
+    def test_segment_lengths_match(self):
+        series = byte_value_series(synthetic_capture(SESSION))
+        _mapping, segments = infer_state_sequence(
+            series, 0, constants.USB_WATCHDOG_BIT
+        )
+        assert segments[0][1] - segments[0][0] == 60
+        assert segments[3][1] - segments[3][0] == 700
+
+
+class TestOfflineAnalysis:
+    def test_conclusion_over_multiple_runs(self):
+        analysis = OfflineAnalysis()
+        for seed in range(5):
+            analysis.add_run(synthetic_capture(SESSION, dac_seed=seed))
+        conclusion = analysis.conclude()
+        assert conclusion.state_byte == 0
+        assert conclusion.watchdog_bit == constants.USB_WATCHDOG_BIT
+        assert conclusion.pedal_down_raw_values == frozenset(
+            {0x0F, 0x0F | (1 << constants.USB_WATCHDOG_BIT)}
+        )
+        assert conclusion.runs_analyzed == 5
+
+    def test_no_runs_raises(self):
+        with pytest.raises(AttackConfigError):
+            OfflineAnalysis().conclude()
+
+    def test_pedal_down_never_seen_raises(self):
+        analysis = OfflineAnalysis()
+        analysis.add_run(
+            synthetic_capture(
+                [(RobotState.E_STOP, 100), (RobotState.INIT, 100),
+                 (RobotState.PEDAL_UP, 400)]
+            )
+        )
+        with pytest.raises(AttackConfigError):
+            analysis.conclude()

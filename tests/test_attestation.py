@@ -1,0 +1,113 @@
+"""Tests for repro.core.attestation (remote software attestation)."""
+
+import pytest
+
+from repro.attacks.eavesdrop import EavesdropLogger, build_eavesdropper_library
+from repro.core.attestation import AttestationMonitor
+from repro.sysmodel.linker import DynamicLinker, SystemEnvironment
+
+
+def clean_system():
+    env = SystemEnvironment()
+    linker = DynamicLinker(env)
+    process = linker.spawn("r2_control", user="surgeon")
+    return env, linker, process
+
+
+def infect(env, linker, process):
+    library, _ = build_eavesdropper_library(EavesdropLogger())
+    env.set_user_preload("surgeon", library)
+    process.relink(linker)
+
+
+class TestEnrollment:
+    def test_scan_without_enroll_raises(self):
+        env, _linker, process = clean_system()
+        monitor = AttestationMonitor(process, env)
+        with pytest.raises(RuntimeError):
+            monitor.scan()
+
+    def test_clean_system_attests_trusted(self):
+        env, _linker, process = clean_system()
+        monitor = AttestationMonitor(process, env)
+        monitor.enroll()
+        assert monitor.scan().trusted
+
+    def test_measurement_stable_across_scans(self):
+        env, _linker, process = clean_system()
+        monitor = AttestationMonitor(process, env)
+        baseline = monitor.enroll()
+        assert monitor.scan().measurement == baseline
+        assert monitor.scan().measurement == baseline
+
+    def test_invalid_period_rejected(self):
+        env, _linker, process = clean_system()
+        with pytest.raises(ValueError):
+            AttestationMonitor(process, env, period_cycles=0)
+
+
+class TestDetection:
+    def test_preloaded_malware_detected(self):
+        env, linker, process = clean_system()
+        monitor = AttestationMonitor(process, env)
+        monitor.enroll()
+        infect(env, linker, process)
+        report = monitor.scan()
+        assert not report.trusted
+        assert monitor.compromised_detected
+
+    def test_preload_without_relink_still_detected(self):
+        """Even before a process restart the preload *configuration*
+        changed, which the verifier measures."""
+        env, linker, process = clean_system()
+        monitor = AttestationMonitor(process, env)
+        monitor.enroll()
+        library, _ = build_eavesdropper_library(EavesdropLogger())
+        env.set_user_preload("surgeon", library)
+        assert not monitor.scan().trusted
+
+    def test_periodic_tick_scans_on_schedule(self):
+        env, _linker, process = clean_system()
+        monitor = AttestationMonitor(process, env, period_cycles=100)
+        monitor.enroll()
+        reports = [monitor.tick() for _ in range(250)]
+        scans = [r for r in reports if r is not None]
+        assert len(scans) == 2
+        assert scans[0].cycle == 100 and scans[1].cycle == 200
+
+
+class TestToctouWindow:
+    def test_detection_latency_is_up_to_one_period(self):
+        """Malware installed right after a scan owns almost a full period
+        — the TOCTOU window the paper warns attestation cannot close."""
+        env, linker, process = clean_system()
+        monitor = AttestationMonitor(process, env, period_cycles=1000)
+        monitor.enroll()
+        # Clean scans for one period.
+        for _ in range(1000):
+            monitor.tick()
+        assert not monitor.compromised_detected
+        infection_cycle = 1001
+        infect(env, linker, process)
+        for _ in range(1100):
+            monitor.tick()
+        latency = monitor.detection_latency_cycles(infection_cycle)
+        assert latency is not None
+        # Detected only at the *next* scheduled scan: ~one full period of
+        # control cycles (999 attacks' worth of 1 ms windows).
+        assert 900 <= latency <= 1000
+
+    def test_first_untrusted_cycle_none_when_clean(self):
+        env, _linker, process = clean_system()
+        monitor = AttestationMonitor(process, env)
+        monitor.enroll()
+        monitor.scan()
+        assert monitor.first_untrusted_cycle() is None
+        assert monitor.detection_latency_cycles(0) is None
+
+    def test_scan_cost_measured(self):
+        env, _linker, process = clean_system()
+        monitor = AttestationMonitor(process, env)
+        monitor.enroll()
+        report = monitor.scan()
+        assert report.elapsed_s > 0.0

@@ -1,0 +1,136 @@
+"""Tests for repro.hw.bitw (bump-in-the-wire link protection)."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.control.state_machine import RobotState
+from repro.dynamics.plant import RavenPlant
+from repro.hw.bitw import (
+    BitwDecryptor,
+    BitwEncryptor,
+    BitwError,
+    BitwProtectedDevice,
+)
+from repro.hw.encoder import EncoderBank
+from repro.hw.motor_controller import MotorController
+from repro.hw.plc import Plc
+from repro.hw.usb_board import UsbBoard
+from repro.hw.usb_packet import decode_feedback_packet, encode_command_packet
+from repro.kinematics.workspace import Workspace
+
+KEY = b"a-sixteen-byte-k-and-then-some!!"
+
+
+def make_board():
+    plant = RavenPlant(initial_jpos=Workspace().neutral())
+    plant.release_brakes()
+    mc = MotorController(plant)
+    plc = Plc(plant, mc)
+    return UsbBoard(mc, plc, EncoderBank()), mc
+
+
+class TestBitwPair:
+    def test_seal_open_roundtrip(self):
+        enc = BitwEncryptor(KEY)
+        dec = BitwDecryptor(KEY)
+        frame = b"hello usb board" * 2
+        assert dec.open(enc.seal(frame)) == frame
+
+    def test_ciphertext_differs_from_plaintext(self):
+        enc = BitwEncryptor(KEY)
+        frame = encode_command_packet(RobotState.PEDAL_DOWN, True, [100, 0, 0])
+        sealed = enc.seal(frame)
+        # The state byte must not be readable on the wire.
+        assert frame[0] != sealed[4]  # body starts after the counter
+
+    def test_distinct_frames_distinct_ciphertexts(self):
+        enc = BitwEncryptor(KEY)
+        frame = b"\x00" * 18
+        assert enc.seal(frame) != enc.seal(frame)  # counter advances
+
+    def test_tampered_frame_rejected(self):
+        enc = BitwEncryptor(KEY)
+        dec = BitwDecryptor(KEY)
+        sealed = bytearray(enc.seal(b"payload-bytes-123"))
+        sealed[6] ^= 0x10
+        with pytest.raises(BitwError):
+            dec.open(bytes(sealed))
+        assert dec.frames_rejected == 1
+
+    def test_replayed_frame_rejected(self):
+        enc = BitwEncryptor(KEY)
+        dec = BitwDecryptor(KEY)
+        sealed = enc.seal(b"frame-one-payload")
+        dec.open(sealed)
+        with pytest.raises(BitwError):
+            dec.open(sealed)
+
+    def test_short_frame_rejected(self):
+        with pytest.raises(BitwError):
+            BitwDecryptor(KEY).open(b"\x00" * 5)
+
+    def test_wrong_key_rejected(self):
+        sealed = BitwEncryptor(KEY).seal(b"some-frame-content")
+        with pytest.raises(BitwError):
+            BitwDecryptor(b"completely-different-32-byte-key").open(sealed)
+
+    def test_short_key_rejected(self):
+        with pytest.raises(ValueError):
+            BitwEncryptor(b"tiny")
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            BitwEncryptor(KEY, latency_s=-1.0)
+
+
+class TestBitwProtectedDevice:
+    def test_transparent_for_honest_traffic(self):
+        board, mc = make_board()
+        protected = BitwProtectedDevice(board, KEY)
+        packet = encode_command_packet(RobotState.PEDAL_DOWN, True, [1234, 0, 0])
+        protected.fd_write(packet)
+        assert mc.latched_dac[0] == 1234
+
+    def test_feedback_path_roundtrips(self):
+        board, _mc = make_board()
+        protected = BitwProtectedDevice(board, KEY)
+        protected.fd_write(
+            encode_command_packet(RobotState.PEDAL_DOWN, True, [0, 0, 0])
+        )
+        feedback = decode_feedback_packet(protected.fd_read(26))
+        assert feedback.state is RobotState.PEDAL_DOWN
+
+    def test_wire_attacker_frames_dropped(self):
+        """A tamperer *between* the BITW boxes achieves nothing."""
+        board, mc = make_board()
+
+        def flip(sealed: bytes) -> bytes:
+            buf = bytearray(sealed)
+            buf[7] ^= 0x40
+            return bytes(buf)
+
+        protected = BitwProtectedDevice(board, KEY, wire_tamper=flip)
+        packet = encode_command_packet(RobotState.PEDAL_DOWN, True, [9000, 0, 0])
+        protected.fd_write(packet)
+        assert protected.rejected_writes == 1
+        assert np.allclose(mc.latched_dac, 0.0)  # nothing executed
+
+    def test_in_host_malware_unaffected(self):
+        """The paper's point: the malicious write wrapper runs *before*
+        the encryptor, so BITW protection does not stop scenario B."""
+        from repro.attacks.injection import DacOffsetInjection
+
+        board, mc = make_board()
+        protected = BitwProtectedDevice(board, KEY)
+        packet = encode_command_packet(RobotState.PEDAL_DOWN, True, [100, 0, 0])
+        corrupted = DacOffsetInjection(5000, channel=0).apply(packet)
+        protected.fd_write(corrupted)  # wrapper output enters the encryptor
+        assert mc.latched_dac[0] == 5100  # executed despite BITW
+
+    def test_latency_budget_exposed(self):
+        protected = BitwProtectedDevice(make_board()[0], KEY, latency_s=2e-4)
+        assert protected.round_trip_latency_s == pytest.approx(4e-4)
+        # A pair of realistic BITW boxes already eats a large slice of
+        # the 1 ms cycle — the paper's overhead concern.
+        assert protected.round_trip_latency_s > 0.25 * constants.CONTROL_PERIOD_S

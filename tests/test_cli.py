@@ -1,0 +1,35 @@
+"""Tests for the ``python -m repro.experiments`` command-line runner."""
+
+import pytest
+
+from repro.experiments.__main__ import ARTIFACTS, main
+
+
+class TestCli:
+    def test_artifact_registry_complete(self):
+        assert set(ARTIFACTS) == {
+            "table1", "table2", "fig5", "fig6", "fig8", "table4", "fig9",
+        }
+
+    def test_unknown_artifact_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig42"])
+
+    def test_no_arguments_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_table2_runs_end_to_end(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "scale: smoke" in out
+        assert "=== table2 ===" in out
+        assert "baseline" in out
+        assert "injection overhead" in out
+
+    def test_fig5_runs_end_to_end(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert main(["fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "state byte: Byte 0" in out

@@ -1,0 +1,108 @@
+"""Tests for repro.teleop.console and repro.sim.runner helpers."""
+
+import numpy as np
+import pytest
+
+from repro.control.trajectory import CircleTrajectory
+from repro.sim.runner import (
+    run_model_validation,
+    train_thresholds,
+)
+from repro.teleop.console import MasterConsoleEmulator
+from repro.teleop.itp import decode_itp
+from repro.teleop.network import UdpChannel
+from repro.teleop.pedal import PedalSchedule
+
+
+@pytest.fixture
+def console_setup():
+    channel = UdpChannel()
+    trajectory = CircleTrajectory(
+        center=np.array([0.0, -0.1, -0.05]), radius=0.01, period=2.0
+    )
+    pedal = PedalSchedule.pressed_during(0.1, 1.0)
+    console = MasterConsoleEmulator(
+        trajectory, channel, pedal=pedal, motion_start=0.15
+    )
+    return console, channel
+
+
+class TestMasterConsoleEmulator:
+    def test_emits_one_packet_per_tick(self, console_setup):
+        console, channel = console_setup
+        for k in range(5):
+            console.tick(k * 1e-3)
+        assert channel.sent == 5
+        assert console.sequence == 5
+
+    def test_sequence_increments(self, console_setup):
+        console, channel = console_setup
+        console.tick(0.0)
+        console.tick(1e-3)
+        first = decode_itp(channel.receive(1e-3))
+        second = decode_itp(channel.receive(1e-3))
+        assert second.sequence == first.sequence + 1
+
+    def test_pedal_state_follows_schedule(self, console_setup):
+        console, channel = console_setup
+        console.tick(0.0)
+        assert not decode_itp(channel.receive(0.0)).pedal_down
+        console.tick(0.5)
+        assert decode_itp(channel.receive(0.5)).pedal_down
+
+    def test_zero_increments_before_motion_start(self, console_setup):
+        console, channel = console_setup
+        console.tick(0.11)
+        packet = decode_itp(channel.receive(0.11))
+        assert np.allclose(packet.dpos, 0.0)
+
+    def test_increments_nonzero_once_moving(self, console_setup):
+        console, channel = console_setup
+        total = np.zeros(3)
+        for k in range(700):
+            now = 0.2 + k * 1e-3
+            console.tick(now)
+            total += np.abs(decode_itp(channel.receive(now)).dpos)
+        assert np.linalg.norm(total) > 1e-4
+
+    def test_no_motion_while_pedal_up(self, console_setup):
+        console, channel = console_setup
+        # After release at t=1.0 the console sends zero increments.
+        for k in range(30):
+            now = 1.1 + k * 1e-3
+            console.tick(now)
+            packet = decode_itp(channel.receive(now))
+            assert not packet.pedal_down
+            assert np.allclose(packet.dpos, 0.0)
+
+
+class TestTrainThresholds:
+    def test_returns_positive_thresholds(self):
+        thresholds = train_thresholds(num_runs=2, duration_s=0.9)
+        assert np.all(thresholds.motor_velocity > 0)
+        assert np.all(thresholds.motor_acceleration > 0)
+        assert np.all(thresholds.joint_velocity > 0)
+
+    def test_margin_applied(self):
+        base = train_thresholds(num_runs=2, duration_s=0.9)
+        wide = train_thresholds(num_runs=2, duration_s=0.9, margin=2.0)
+        assert np.allclose(wide.motor_velocity, 2 * base.motor_velocity, rtol=1e-9)
+
+
+class TestModelValidation:
+    def test_produces_errors_and_timing(self):
+        result = run_model_validation(
+            integrator="euler", seed=2, duration_s=1.2
+        )
+        assert result.integrator == "euler"
+        assert result.mean_step_seconds > 0
+        assert result.samples > 300
+        assert result.jpos_mae.shape == (3,)
+        assert np.all(result.jpos_mae >= 0)
+
+    def test_perfect_model_tracks_closely(self):
+        result = run_model_validation(
+            integrator="rk4", seed=2, duration_s=1.2, parameter_error=1.0
+        )
+        # With exact parameters the open-loop model stays near the plant.
+        assert np.all(result.jpos_mae < 0.02)

@@ -1,0 +1,105 @@
+"""Property-based tests on the plant and dynamic-model physics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dynamic_model import RavenDynamicModel
+from repro.dynamics.friction import FrictionModel
+from repro.dynamics.manipulator import ManipulatorDynamics
+from repro.dynamics.plant import RavenPlant
+from repro.kinematics.workspace import Workspace
+
+joint_vectors = st.tuples(
+    st.floats(-1.0, 1.0),
+    st.floats(0.5, 2.6),
+    st.floats(0.07, 0.28),
+).map(np.array)
+
+velocities = st.tuples(
+    st.floats(-1.0, 1.0), st.floats(-1.0, 1.0), st.floats(-0.1, 0.1)
+).map(np.array)
+
+dac_sequences = st.lists(
+    st.tuples(
+        st.integers(-32767, 32767),
+        st.integers(-32767, 32767),
+        st.integers(-32767, 32767),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+class TestPlantProperties:
+    @given(commands=dac_sequences)
+    @settings(max_examples=25, deadline=None)
+    def test_state_always_finite(self, commands):
+        """No admissible command sequence drives the plant to NaN/Inf."""
+        plant = RavenPlant(initial_jpos=Workspace().neutral())
+        plant.release_brakes()
+        for dac in commands:
+            snapshot = plant.step(np.array(dac, dtype=float))
+            assert np.all(np.isfinite(snapshot.jpos))
+            assert np.all(np.isfinite(snapshot.jvel))
+            assert np.all(np.isfinite(snapshot.currents))
+
+    @given(q=joint_vectors, v=velocities)
+    @settings(max_examples=40, deadline=None)
+    def test_unforced_motion_dissipates(self, q, v):
+        """With zero command and gravity disabled, kinetic energy decays
+        (passivity of friction + damping)."""
+        dyn = ManipulatorDynamics(include_gravity=False)
+        plant = RavenPlant(dynamics=dyn, initial_jpos=q)
+        plant.release_brakes()
+        plant.set_state(q, v)
+
+        def kinetic(p):
+            m = dyn.mass_matrix(p.jpos) + p.transmission.reflected_inertia(
+                [mm.rotor_inertia for mm in p.motors]
+            )
+            return 0.5 * p.jvel @ m @ p.jvel
+
+        e0 = kinetic(plant)
+        for _ in range(30):
+            plant.step([0, 0, 0])
+        assert kinetic(plant) <= e0 + 1e-12
+
+    @given(q=joint_vectors)
+    @settings(max_examples=40, deadline=None)
+    def test_mass_matrix_spd_everywhere(self, q):
+        dyn = ManipulatorDynamics()
+        m = dyn.mass_matrix(q)
+        assert np.allclose(m, m.T, atol=1e-12)
+        assert np.min(np.linalg.eigvalsh(m)) > 0
+
+    @given(qdot=velocities)
+    @settings(max_examples=60, deadline=None)
+    def test_friction_dissipates_power(self, qdot):
+        """Friction power qdot . f(qdot) is non-negative for any motion."""
+        friction = FrictionModel()
+        assert float(qdot @ friction.torque(qdot)) >= 0.0
+
+
+class TestModelProperties:
+    @given(q=joint_vectors, v=velocities, dac=st.tuples(
+        st.integers(-32767, 32767),
+        st.integers(-32767, 32767),
+        st.integers(-32767, 32767),
+    ))
+    @settings(max_examples=40, deadline=None)
+    def test_one_step_prediction_finite_and_close(self, q, v, dac):
+        """One 1 ms model step stays finite and close to the start state
+        (nothing physical moves far in a millisecond)."""
+        model = RavenDynamicModel()
+        jpos, jvel = model.step(q, v, np.array(dac, dtype=float))
+        assert np.all(np.isfinite(jpos)) and np.all(np.isfinite(jvel))
+        assert np.linalg.norm(jpos - q) < 0.02
+
+    @given(q=joint_vectors, v=velocities)
+    @settings(max_examples=40, deadline=None)
+    def test_determinism(self, q, v):
+        model = RavenDynamicModel()
+        a = model.step(q, v, [1000, -1000, 500])
+        b = model.step(q, v, [1000, -1000, 500])
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])

@@ -1,0 +1,42 @@
+"""Tests for the exception hierarchy (API stability contract)."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_ik_error_is_kinematics_error(self):
+        assert issubclass(errors.InverseKinematicsError, errors.KinematicsError)
+        assert issubclass(errors.WorkspaceError, errors.KinematicsError)
+
+    def test_checksum_error_is_packet_error(self):
+        assert issubclass(errors.ChecksumError, errors.PacketError)
+
+    def test_integration_error_is_dynamics_error(self):
+        assert issubclass(errors.IntegrationError, errors.DynamicsError)
+
+    def test_single_except_catches_everything(self):
+        for exc_type in (
+            errors.InverseKinematicsError,
+            errors.ChecksumError,
+            errors.SyscallError,
+            errors.AttackConfigError,
+            errors.DetectorError,
+            errors.SimulationError,
+        ):
+            with pytest.raises(errors.ReproError):
+                raise exc_type("boom")
+
+    def test_extension_errors_fit_the_hierarchy(self):
+        from repro.hw.bitw import BitwError
+        from repro.teleop.secure_itp import AuthenticationError
+
+        assert issubclass(BitwError, errors.PacketError)
+        assert issubclass(AuthenticationError, errors.PacketError)

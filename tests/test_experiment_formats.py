@@ -1,0 +1,111 @@
+"""Tests for the experiment drivers' aggregation/formatting logic.
+
+These cover the pure (non-simulating) parts of the experiment modules so
+the benchmark harness's failure modes are caught cheaply.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks.campaign import CampaignCell, CampaignResult, RunOutcome
+from repro.experiments.fig8 import Fig8Row, format_results as format_fig8
+from repro.experiments.fig9 import _marginal, format_results as format_fig9, shape_checks
+from repro.experiments.table4 import (
+    PAPER_TABLE4,
+    average_accuracy,
+    combined,
+    format_results as format_table4,
+    run_table4,
+)
+
+
+def outcome(cell, label, model, raven):
+    return RunOutcome(
+        cell=cell, seed=0, label=label, raven_detected=raven,
+        model_detected=model, deviation_mm=2.0 if label else 0.0,
+        attack_fired=cell is not None,
+    )
+
+
+@pytest.fixture
+def campaigns():
+    out = {}
+    for scenario in ("A", "B"):
+        result = CampaignResult(scenario=scenario)
+        strong = CampaignCell(scenario, 10.0, 64)
+        weak = CampaignCell(scenario, 1.0, 2)
+        result.outcomes = [
+            outcome(strong, True, True, scenario == "B"),
+            outcome(strong, True, True, False),
+            outcome(weak, False, False, False),
+            outcome(weak, False, False, False),
+            outcome(None, False, False, False),
+        ]
+        out[scenario] = result
+    return out
+
+
+class TestTable4Helpers:
+    def test_run_table4_rows(self, campaigns):
+        rows = run_table4(campaigns)
+        assert [(s, t) for s, t, _ in rows] == [
+            ("A", "Dynamic Model"), ("A", "RAVEN"),
+            ("B", "Dynamic Model"), ("B", "RAVEN"),
+        ]
+
+    def test_average_accuracy(self, campaigns):
+        rows = run_table4(campaigns)
+        acc = average_accuracy(rows)
+        assert 0.0 < acc <= 1.0
+
+    def test_average_accuracy_empty(self):
+        assert average_accuracy([]) == 0.0
+
+    def test_combined_pools(self, campaigns):
+        rows = run_table4(campaigns)
+        pooled = combined(rows, "Dynamic Model")
+        assert pooled.total == 10  # 5 per scenario
+
+    def test_format_includes_paper_reference(self, campaigns):
+        text = format_table4(run_table4(campaigns))
+        assert "paper ACC/TPR/FPR/F1" in text
+        paper_a = "/".join(f"{v:.1f}" for v in PAPER_TABLE4[("A", "Dynamic Model")])
+        assert paper_a in text
+
+
+class TestFig9Helpers:
+    def test_marginal_sorted_by_key(self, campaigns):
+        cells = campaigns["B"].cell_probabilities()
+        rows = _marginal(cells, "error_value")
+        keys = [r[0] for r in rows]
+        assert keys == sorted(keys)
+
+    def test_shape_checks_pass_on_monotone_data(self, campaigns):
+        tables = {s: campaigns[s].cell_probabilities() for s in ("A", "B")}
+        checks = shape_checks(tables)
+        assert all(checks.values()), checks
+
+    def test_format_mentions_both_scenarios(self, campaigns):
+        tables = {s: campaigns[s].cell_probabilities() for s in ("A", "B")}
+        text = format_fig9(tables)
+        assert "scenario A" in text and "scenario B" in text
+        assert "P(impact)" in text
+
+
+class TestFig8Formatting:
+    def test_format_reports_ratio(self):
+        rows = [
+            Fig8Row("rk4", 0.03, np.array([1e-3, 1e-3, 1e-4]),
+                    np.array([0.1, 0.1, 0.01]), 2),
+            Fig8Row("euler", 0.01, np.array([2e-3, 2e-3, 2e-4]),
+                    np.array([0.2, 0.2, 0.02]), 2),
+        ]
+        text = format_fig8(rows)
+        assert "rk4/euler time ratio: 3.00x" in text
+        assert "J3 jpos (mm)" in text
+
+    def test_format_without_euler_omits_ratio(self):
+        rows = [
+            Fig8Row("rk4", 0.03, np.zeros(3) + 1e-3, np.zeros(3) + 0.1, 1)
+        ]
+        assert "ratio" not in format_fig8(rows)

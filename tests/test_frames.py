@@ -1,0 +1,104 @@
+"""Tests for repro.kinematics.frames."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.kinematics.frames import (
+    angle_between,
+    matrix_to_quat,
+    quat_conjugate,
+    quat_multiply,
+    quat_normalize,
+    quat_rotate,
+    quat_to_matrix,
+    rot_x,
+    rot_y,
+    rot_z,
+    skew,
+)
+
+
+class TestRotationMatrices:
+    def test_rot_z_rotates_x_to_y(self):
+        out = rot_z(math.pi / 2) @ np.array([1.0, 0.0, 0.0])
+        assert np.allclose(out, [0.0, 1.0, 0.0], atol=1e-12)
+
+    def test_rot_x_rotates_y_to_z(self):
+        out = rot_x(math.pi / 2) @ np.array([0.0, 1.0, 0.0])
+        assert np.allclose(out, [0.0, 0.0, 1.0], atol=1e-12)
+
+    def test_rot_y_rotates_z_to_x(self):
+        out = rot_y(math.pi / 2) @ np.array([0.0, 0.0, 1.0])
+        assert np.allclose(out, [1.0, 0.0, 0.0], atol=1e-12)
+
+    @pytest.mark.parametrize("fn", [rot_x, rot_y, rot_z])
+    def test_orthonormal(self, fn):
+        m = fn(0.7)
+        assert np.allclose(m @ m.T, np.eye(3), atol=1e-12)
+        assert math.isclose(np.linalg.det(m), 1.0, abs_tol=1e-12)
+
+    @pytest.mark.parametrize("fn", [rot_x, rot_y, rot_z])
+    def test_inverse_is_negative_angle(self, fn):
+        assert np.allclose(fn(0.3) @ fn(-0.3), np.eye(3), atol=1e-12)
+
+
+class TestQuaternions:
+    def test_normalize_unit(self):
+        q = quat_normalize(np.array([2.0, 0.0, 0.0, 0.0]))
+        assert np.allclose(q, [1.0, 0.0, 0.0, 0.0])
+
+    def test_normalize_zero_raises(self):
+        with pytest.raises(ValueError):
+            quat_normalize(np.zeros(4))
+
+    def test_multiply_identity(self):
+        q = quat_normalize(np.array([0.9, 0.1, -0.2, 0.3]))
+        identity = np.array([1.0, 0.0, 0.0, 0.0])
+        assert np.allclose(quat_multiply(identity, q), q)
+        assert np.allclose(quat_multiply(q, identity), q)
+
+    def test_conjugate_inverts_rotation(self):
+        q = quat_normalize(np.array([0.8, 0.3, -0.1, 0.5]))
+        v = np.array([0.2, -0.5, 1.0])
+        assert np.allclose(quat_rotate(quat_conjugate(q), quat_rotate(q, v)), v)
+
+    def test_rotate_matches_matrix(self):
+        q = quat_normalize(np.array([0.7, -0.4, 0.2, 0.1]))
+        v = np.array([1.0, 2.0, 3.0])
+        assert np.allclose(quat_rotate(q, v), quat_to_matrix(q) @ v)
+
+    def test_matrix_quat_roundtrip(self):
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            q = quat_normalize(rng.standard_normal(4))
+            if q[0] < 0:
+                q = -q
+            q2 = matrix_to_quat(quat_to_matrix(q))
+            assert np.allclose(q, q2, atol=1e-9)
+
+    def test_matrix_to_quat_all_branches(self):
+        # Diagonal-dominant matrices exercise every Shepperd branch.
+        for axis_fn, angle in [(rot_x, math.pi - 0.01), (rot_y, math.pi - 0.01),
+                               (rot_z, math.pi - 0.01), (rot_x, 0.01)]:
+            m = axis_fn(angle)
+            q = matrix_to_quat(m)
+            assert np.allclose(quat_to_matrix(q), m, atol=1e-9)
+
+
+class TestVectorHelpers:
+    def test_angle_between_orthogonal(self):
+        assert math.isclose(
+            angle_between(np.array([1, 0, 0]), np.array([0, 1, 0])),
+            math.pi / 2,
+        )
+
+    def test_angle_between_zero_raises(self):
+        with pytest.raises(ValueError):
+            angle_between(np.zeros(3), np.array([1.0, 0, 0]))
+
+    def test_skew_cross_product(self):
+        a = np.array([0.3, -1.2, 2.0])
+        b = np.array([1.0, 0.5, -0.7])
+        assert np.allclose(skew(a) @ b, np.cross(a, b))

@@ -1,0 +1,54 @@
+"""Tests for repro.dynamics.friction."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics.friction import FrictionModel
+
+
+class TestFrictionModel:
+    def test_opposes_motion(self):
+        f = FrictionModel()
+        qdot = np.array([0.5, -0.3, 0.1])
+        torque = f.torque(qdot)
+        assert np.all(np.sign(torque) == np.sign(qdot))
+
+    def test_zero_velocity_zero_friction(self):
+        assert np.allclose(FrictionModel().torque(np.zeros(3)), 0.0)
+
+    def test_odd_function(self):
+        f = FrictionModel()
+        qdot = np.array([0.2, 0.4, -0.6])
+        assert np.allclose(f.torque(qdot), -f.torque(-qdot))
+
+    def test_saturates_to_coulomb_plus_viscous(self):
+        f = FrictionModel()
+        v = 10.0
+        torque = f.torque(np.array([v, v, v]))
+        expected = f.viscous * v + f.coulomb
+        assert np.allclose(torque, expected, rtol=1e-6)
+
+    def test_smooth_near_zero(self):
+        # Below the smoothing velocity the Coulomb term is roughly linear.
+        f = FrictionModel(smoothing_velocity=1e-2)
+        small = f.torque(np.array([1e-4, 1e-4, 1e-4]))
+        half = f.torque(np.array([5e-5, 5e-5, 5e-5]))
+        assert np.allclose(small, 2 * half, rtol=0.01)
+
+    def test_scaled(self):
+        f = FrictionModel().scaled(2.0)
+        base = FrictionModel()
+        assert np.allclose(f.viscous, 2 * base.viscous)
+        assert np.allclose(f.coulomb, 2 * base.coulomb)
+
+    def test_negative_coefficients_rejected(self):
+        with pytest.raises(ValueError):
+            FrictionModel(viscous=np.array([-0.1, 0.0, 0.0]))
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            FrictionModel(viscous=np.zeros(3), coulomb=np.zeros(2))
+
+    def test_zero_smoothing_rejected(self):
+        with pytest.raises(ValueError):
+            FrictionModel(smoothing_velocity=0.0)

@@ -1,0 +1,182 @@
+"""Tests for repro.hw: encoders, motor controller, PLC, USB board."""
+
+import numpy as np
+import pytest
+
+from repro.control.state_machine import RobotState
+from repro.dynamics.plant import RavenPlant
+from repro.hw.encoder import EncoderBank
+from repro.hw.motor_controller import MotorController
+from repro.hw.plc import Plc
+from repro.hw.usb_board import UsbBoard
+from repro.hw.usb_packet import (
+    decode_feedback_packet,
+    encode_command_packet,
+)
+from repro.kinematics.workspace import Workspace
+
+
+@pytest.fixture
+def stack():
+    """plant + motor controller + PLC + USB board, brakes released."""
+    plant = RavenPlant(initial_jpos=Workspace().neutral())
+    mc = MotorController(plant)
+    plc = Plc(plant, mc)
+    board = UsbBoard(mc, plc)
+    plant.release_brakes()
+    return plant, mc, plc, board
+
+
+class TestEncoderBank:
+    def test_roundtrip_within_resolution(self, rng):
+        bank = EncoderBank()
+        mpos = rng.uniform(-50, 50, 3)
+        recovered = bank.to_radians(bank.to_counts(mpos))
+        assert np.allclose(recovered, mpos, atol=bank.resolution_rad)
+
+    def test_quantization_is_integer(self, rng):
+        bank = EncoderBank()
+        counts = bank.to_counts(rng.uniform(-1, 1, 3))
+        assert counts.dtype == np.int64
+
+    def test_noise_requires_rng(self):
+        with pytest.raises(ValueError):
+            EncoderBank(noise_counts=1.0)
+
+    def test_noise_changes_counts(self, rng):
+        bank = EncoderBank(noise_counts=5.0, rng=rng)
+        mpos = np.array([1.0, 2.0, 3.0])
+        a = bank.to_counts(mpos)
+        b = bank.to_counts(mpos)
+        assert not np.array_equal(a, b)
+
+    def test_invalid_cpr_rejected(self):
+        with pytest.raises(ValueError):
+            EncoderBank(counts_per_rev=0)
+
+
+class TestMotorController:
+    def test_latch_and_tick_drives_plant(self, stack):
+        plant, mc, _plc, _board = stack
+        q0 = plant.jpos.copy()
+        mc.latch([10000, 0, 0])
+        for _ in range(50):
+            mc.tick()
+        assert plant.jpos[0] != q0[0]
+
+    def test_power_off_zeroes_command(self, stack):
+        _plant, mc, _plc, _board = stack
+        mc.latch([10000, 0, 0])
+        mc.power_off()
+        assert np.allclose(mc.latched_dac, 0.0)
+        assert not mc.powered
+
+    def test_power_on_restores(self, stack):
+        _plant, mc, _plc, _board = stack
+        mc.power_off()
+        mc.power_on()
+        assert mc.powered
+
+    def test_only_first_three_channels_latched(self, stack):
+        _plant, mc, _plc, _board = stack
+        mc.latch([1, 2, 3, 4, 5, 6, 7, 8])
+        assert np.allclose(mc.latched_dac, [1, 2, 3])
+
+
+class TestPlc:
+    def test_brakes_follow_state(self, stack):
+        plant, _mc, plc, _board = stack
+        plc.observe_packet(RobotState.PEDAL_UP, True)
+        plc.tick()
+        assert plant.brakes_engaged or plant.brakes_engaging
+        plc.observe_packet(RobotState.PEDAL_DOWN, True)
+        plc.tick()
+        assert not plant.brakes_engaged
+
+    def test_watchdog_timeout_latches_estop(self, stack):
+        _plant, _mc, plc, _board = stack
+        plc.observe_packet(RobotState.PEDAL_DOWN, True)
+        # Watchdog frozen at one level: no more edges.
+        for _ in range(plc.watchdog_timeout_cycles + 2):
+            plc.observe_packet(RobotState.PEDAL_DOWN, True)
+            plc.tick()
+        assert plc.estop_latched
+        assert "watchdog" in plc.estop_reason
+
+    def test_toggling_watchdog_keeps_running(self, stack):
+        _plant, _mc, plc, _board = stack
+        level = False
+        for i in range(100):
+            if i % 8 == 0:
+                level = not level
+            plc.observe_packet(RobotState.PEDAL_DOWN, level)
+            plc.tick()
+        assert not plc.estop_latched
+
+    def test_estop_cuts_motor_power_and_brakes(self, stack):
+        plant, mc, plc, _board = stack
+        plc.trigger_estop("test")
+        assert not mc.powered
+        assert plant.brakes_engaged or plant.brakes_engaging
+
+    def test_clear_estop(self, stack):
+        _plant, mc, plc, _board = stack
+        plc.trigger_estop("test")
+        plc.clear_estop()
+        assert not plc.estop_latched
+        assert mc.powered
+
+    def test_invalid_timeout_rejected(self, stack):
+        plant, mc, _plc, _board = stack
+        with pytest.raises(ValueError):
+            Plc(plant, mc, watchdog_timeout_cycles=1)
+
+
+class TestUsbBoard:
+    def test_write_latches_dac(self, stack):
+        _plant, mc, _plc, board = stack
+        data = encode_command_packet(RobotState.PEDAL_DOWN, True, [1500, -700, 300])
+        board.fd_write(data)
+        assert np.allclose(mc.latched_dac, [1500, -700, 300])
+        assert board.packets_received == 1
+
+    def test_no_integrity_check_executes_corrupted_packet(self, stack):
+        """The vulnerability: tampered packets execute unchecked."""
+        _plant, mc, _plc, board = stack
+        data = bytearray(
+            encode_command_packet(RobotState.PEDAL_DOWN, True, [100, 0, 0])
+        )
+        data[1] = 0x30  # forge channel-0 high byte; checksum now stale
+        board.fd_write(bytes(data))
+        assert mc.latched_dac[0] == 0x3000 + 100
+
+    def test_malformed_length_dropped(self, stack):
+        _plant, _mc, _plc, board = stack
+        board.fd_write(b"\x01\x02\x03")
+        assert board.malformed_packets == 1
+        assert board.packets_received == 0
+
+    def test_state_forwarded_to_plc(self, stack):
+        _plant, _mc, plc, board = stack
+        board.fd_write(encode_command_packet(RobotState.PEDAL_DOWN, True, []))
+        assert plc.observed_state is RobotState.PEDAL_DOWN
+
+    def test_read_returns_encoder_feedback(self, stack):
+        plant, _mc, _plc, board = stack
+        board.fd_write(encode_command_packet(RobotState.PEDAL_DOWN, True, []))
+        feedback = decode_feedback_packet(board.fd_read(26))
+        expected = board.encoders.to_counts(plant.mpos)
+        assert feedback.encoder_counts[:3] == list(expected)
+
+    def test_guard_blocks_execution(self, stack):
+        _plant, mc, _plc, board = stack
+        board.guard = lambda packet, raw: False
+        board.fd_write(encode_command_packet(RobotState.PEDAL_DOWN, True, [9000, 0, 0]))
+        assert np.allclose(mc.latched_dac, 0.0)
+        assert board.packets_blocked == 1
+
+    def test_guard_allows_execution(self, stack):
+        _plant, mc, _plc, board = stack
+        board.guard = lambda packet, raw: True
+        board.fd_write(encode_command_packet(RobotState.PEDAL_DOWN, True, [9000, 0, 0]))
+        assert mc.latched_dac[0] == 9000

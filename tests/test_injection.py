@@ -1,0 +1,253 @@
+"""Tests for repro.attacks.injection and eavesdrop libraries."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.attacks.eavesdrop import EavesdropLogger, build_eavesdropper_library
+from repro.attacks.injection import (
+    ByteCorruptionInjection,
+    DacOffsetInjection,
+    UserInputInjection,
+    build_scenario_a_library,
+    build_scenario_b_library,
+)
+from repro.attacks.malware import PedalDownTrigger
+from repro.control.state_machine import RobotState
+from repro.errors import AttackConfigError
+from repro.hw.usb_packet import decode_command_packet, encode_command_packet
+from repro.sysmodel.linker import DynamicLinker, SystemEnvironment
+from repro.teleop.itp import ItpPacket, decode_itp, encode_itp
+
+
+class RecordingDevice:
+    def __init__(self):
+        self.written = []
+
+    def fd_write(self, data):
+        self.written.append(bytes(data))
+        return len(data)
+
+    def fd_read(self, n):
+        return b""
+
+
+class QueueSocket:
+    def __init__(self, payloads):
+        self.payloads = list(payloads)
+
+    def fd_write(self, data):
+        return len(data)
+
+    def fd_read(self, n):
+        return b""
+
+    def fd_recvfrom(self, n):
+        return self.payloads.pop(0) if self.payloads else None
+
+
+def spawn_with(library, name="r2_control"):
+    env = SystemEnvironment()
+    env.set_user_preload("surgeon", library)
+    return DynamicLinker(env).spawn(name, user="surgeon")
+
+
+class TestDacOffsetInjection:
+    def test_adds_offset(self):
+        packet = encode_command_packet(RobotState.PEDAL_DOWN, True, [1000, 0, 0])
+        modified = DacOffsetInjection(5000, channel=0).apply(packet)
+        assert decode_command_packet(modified).dac_values[0] == 6000
+
+    def test_saturates_int16(self):
+        packet = encode_command_packet(RobotState.PEDAL_DOWN, True, [30000, 0, 0])
+        modified = DacOffsetInjection(20000, channel=0).apply(packet)
+        assert decode_command_packet(modified).dac_values[0] == 32767
+
+    def test_leaves_checksum_stale(self):
+        packet = encode_command_packet(RobotState.PEDAL_DOWN, True, [1000, 0, 0])
+        modified = DacOffsetInjection(5000).apply(packet)
+        assert not decode_command_packet(modified).checksum_ok
+
+    def test_other_channels_untouched(self):
+        packet = encode_command_packet(RobotState.PEDAL_DOWN, True, [1, 2, 3])
+        modified = DacOffsetInjection(100, channel=1).apply(packet)
+        values = decode_command_packet(modified).dac_values
+        assert values[0] == 1 and values[2] == 3
+
+    def test_zero_offset_rejected(self):
+        with pytest.raises(AttackConfigError):
+            DacOffsetInjection(0)
+
+    def test_bad_channel_rejected(self):
+        with pytest.raises(AttackConfigError):
+            DacOffsetInjection(100, channel=9)
+
+
+class TestByteCorruptionInjection:
+    def test_state_byte_protected(self, rng):
+        with pytest.raises(AttackConfigError):
+            ByteCorruptionInjection(rng, byte_index=constants.USB_STATE_BYTE)
+
+    def test_corrupts_chosen_byte_consistently(self, rng):
+        payload = ByteCorruptionInjection(rng)
+        packet = encode_command_packet(RobotState.PEDAL_DOWN, True, [0, 0, 0])
+        first = payload.apply(packet)
+        second = payload.apply(packet)
+        assert first == second  # byte and value frozen for the burst
+
+    def test_value_in_range(self, rng):
+        payload = ByteCorruptionInjection(rng, value_range=(10, 20))
+        packet = encode_command_packet(RobotState.PEDAL_DOWN, True, [0, 0, 0])
+        modified = payload.apply(packet)
+        assert 10 <= modified[payload.byte_index] <= 20
+
+    def test_targets_live_dac_high_byte(self, rng):
+        payload = ByteCorruptionInjection(rng)
+        payload.apply(encode_command_packet(RobotState.PEDAL_DOWN, True, [0, 0, 0]))
+        assert payload.byte_index in (1, 3, 5)
+
+
+class TestScenarioBLibrary:
+    def _packets(self):
+        return {
+            "up": encode_command_packet(RobotState.PEDAL_UP, True, [100, 0, 0]),
+            "down": encode_command_packet(RobotState.PEDAL_DOWN, True, [100, 0, 0]),
+        }
+
+    def test_injects_only_in_pedal_down(self):
+        trigger = PedalDownTrigger.for_pedal_down(single_burst=False)
+        library = build_scenario_b_library(trigger, DacOffsetInjection(500))
+        process = spawn_with(library)
+        device = RecordingDevice()
+        fd = process.open_device(device)
+        packets = self._packets()
+        process.write(fd, packets["up"])
+        process.write(fd, packets["down"])
+        assert decode_command_packet(device.written[0]).dac_values[0] == 100
+        assert decode_command_packet(device.written[1]).dac_values[0] == 600
+
+    def test_other_processes_untouched(self):
+        trigger = PedalDownTrigger.for_pedal_down(single_burst=False)
+        library = build_scenario_b_library(trigger, DacOffsetInjection(500))
+        process = spawn_with(library, name="text_editor")
+        device = RecordingDevice()
+        fd = process.open_device(device)
+        process.write(fd, self._packets()["down"])
+        assert decode_command_packet(device.written[0]).dac_values[0] == 100
+
+    def test_respects_trigger_duration(self):
+        trigger = PedalDownTrigger.for_pedal_down(duration_cycles=2)
+        library = build_scenario_b_library(trigger, DacOffsetInjection(500))
+        process = spawn_with(library)
+        device = RecordingDevice()
+        fd = process.open_device(device)
+        down = self._packets()["down"]
+        for _ in range(4):
+            process.write(fd, down)
+        values = [decode_command_packet(d).dac_values[0] for d in device.written]
+        assert values == [600, 600, 100, 100]
+
+    def test_non_usb_writes_pass_through(self):
+        trigger = PedalDownTrigger.for_pedal_down(single_burst=False)
+        library = build_scenario_b_library(trigger, DacOffsetInjection(500))
+        process = spawn_with(library)
+        device = RecordingDevice()
+        fd = process.open_device(device)
+        process.write(fd, b"log line\n")
+        assert device.written == [b"log line\n"]
+
+
+class TestUserInputInjection:
+    def test_adds_error_along_direction(self):
+        payload = UserInputInjection(error_m=1e-3, direction=[1.0, 0.0, 0.0])
+        packet = ItpPacket(0, True, np.array([1e-5, 0, 0]))
+        out = payload.apply(packet)
+        assert out.dpos[0] == pytest.approx(1e-5 + 1e-3)
+
+    def test_direction_normalized(self):
+        payload = UserInputInjection(error_m=2e-3, direction=[0.0, 3.0, 0.0])
+        out = payload.apply(ItpPacket(0, True, np.zeros(3)))
+        assert out.dpos[1] == pytest.approx(2e-3)
+
+    def test_metadata_preserved(self):
+        payload = UserInputInjection(error_m=1e-3, direction=[1, 0, 0])
+        packet = ItpPacket(17, True, np.zeros(3))
+        out = payload.apply(packet)
+        assert out.sequence == 17 and out.pedal_down
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(AttackConfigError):
+            UserInputInjection(error_m=0.0)
+        with pytest.raises(AttackConfigError):
+            UserInputInjection(error_m=1e-3, direction=[0, 0, 0])
+
+
+class TestScenarioALibrary:
+    def test_recvfrom_modified_while_triggered(self):
+        trigger = PedalDownTrigger.for_pedal_down(single_burst=False)
+        payload = UserInputInjection(error_m=1e-3, direction=[1, 0, 0])
+        library = build_scenario_a_library(trigger, payload)
+        process = spawn_with(library)
+        itp = encode_itp(ItpPacket(0, True, np.zeros(3)))
+        sock_fd = process.open_device(QueueSocket([itp, itp]))
+        usb_fd = process.open_device(RecordingDevice())
+
+        # Before any Pedal Down observation: no injection.
+        clean = decode_itp(process.recvfrom(sock_fd, 64))
+        assert np.allclose(clean.dpos, 0.0)
+
+        # After the write wrapper observes Pedal Down: injection active.
+        process.write(
+            usb_fd, encode_command_packet(RobotState.PEDAL_DOWN, True, [0, 0, 0])
+        )
+        dirty = decode_itp(process.recvfrom(sock_fd, 64))
+        assert dirty.dpos[0] == pytest.approx(1e-3)
+
+    def test_injected_packet_has_valid_checksum(self):
+        trigger = PedalDownTrigger.for_pedal_down(single_burst=False)
+        payload = UserInputInjection(error_m=1e-3, direction=[1, 0, 0])
+        library = build_scenario_a_library(trigger, payload)
+        process = spawn_with(library)
+        itp = encode_itp(ItpPacket(0, True, np.zeros(3)))
+        sock_fd = process.open_device(QueueSocket([itp]))
+        usb_fd = process.open_device(RecordingDevice())
+        process.write(
+            usb_fd, encode_command_packet(RobotState.PEDAL_DOWN, True, [0, 0, 0])
+        )
+        decode_itp(process.recvfrom(sock_fd, 64))  # would raise on checksum
+
+
+class TestEavesdropper:
+    def test_captures_usb_packets_only(self):
+        logger = EavesdropLogger()
+        library, _ = build_eavesdropper_library(logger)
+        process = spawn_with(library)
+        device = RecordingDevice()
+        fd = process.open_device(device)
+        usb = encode_command_packet(RobotState.INIT, False, [1, 2, 3])
+        process.write(fd, usb)
+        process.write(fd, b"short")
+        assert logger.command_packets() == [usb]
+        assert logger.call_count == 2
+
+    def test_does_not_modify_traffic(self):
+        logger = EavesdropLogger()
+        library, _ = build_eavesdropper_library(logger)
+        process = spawn_with(library)
+        device = RecordingDevice()
+        fd = process.open_device(device)
+        usb = encode_command_packet(RobotState.PEDAL_DOWN, True, [500, -500, 0])
+        process.write(fd, usb)
+        assert device.written == [usb]
+
+    def test_forwards_to_sink(self):
+        from repro.teleop.network import ExfiltrationSink
+
+        logger = EavesdropLogger()
+        sink = ExfiltrationSink()
+        library, _ = build_eavesdropper_library(logger, sink=sink)
+        process = spawn_with(library)
+        fd = process.open_device(RecordingDevice())
+        usb = encode_command_packet(RobotState.INIT, False, [])
+        process.write(fd, usb)
+        assert sink.datagrams == [usb]

@@ -1,0 +1,88 @@
+"""Tests for repro.teleop.itp."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.errors import ChecksumError, PacketError
+from repro.teleop.itp import (
+    ITP_MODE_CARTESIAN,
+    ItpPacket,
+    clamp_increment,
+    decode_itp,
+    encode_itp,
+)
+
+
+class TestItpPacket:
+    def test_roundtrip(self):
+        packet = ItpPacket(
+            sequence=42,
+            pedal_down=True,
+            dpos=np.array([1e-4, -2e-4, 5e-5]),
+            dquat=np.array([0.999, 0.01, -0.02, 0.003]),
+        )
+        decoded = decode_itp(encode_itp(packet))
+        assert decoded.sequence == 42
+        assert decoded.pedal_down
+        assert decoded.mode == ITP_MODE_CARTESIAN
+        assert np.allclose(decoded.dpos, packet.dpos, atol=1e-9)
+        assert np.allclose(decoded.dquat, packet.dquat, atol=1e-9)
+
+    def test_size(self):
+        data = encode_itp(ItpPacket(0, False, np.zeros(3)))
+        assert len(data) == constants.ITP_PACKET_SIZE
+
+    def test_pedal_up_roundtrip(self):
+        decoded = decode_itp(encode_itp(ItpPacket(1, False, np.zeros(3))))
+        assert not decoded.pedal_down
+
+    def test_sequence_wraps_32bit(self):
+        decoded = decode_itp(encode_itp(ItpPacket(2**32 + 5, True, np.zeros(3))))
+        assert decoded.sequence == 5
+
+    def test_nanometre_resolution(self):
+        packet = ItpPacket(0, True, np.array([1e-9, 0, 0]))
+        decoded = decode_itp(encode_itp(packet))
+        assert decoded.dpos[0] == pytest.approx(1e-9)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(PacketError):
+            ItpPacket(0, True, np.zeros(2))
+        with pytest.raises(PacketError):
+            ItpPacket(0, True, np.zeros(3), dquat=np.zeros(3))
+
+    def test_oversized_increment_rejected(self):
+        with pytest.raises(PacketError):
+            encode_itp(ItpPacket(0, True, np.array([3.0, 0, 0])))
+
+    def test_checksum_verified(self):
+        data = bytearray(encode_itp(ItpPacket(7, True, np.zeros(3))))
+        data[10] ^= 0x40
+        with pytest.raises(ChecksumError):
+            decode_itp(bytes(data))
+
+    def test_checksum_skippable(self):
+        data = bytearray(encode_itp(ItpPacket(7, True, np.zeros(3))))
+        data[10] ^= 0x40
+        decode_itp(bytes(data), verify_checksum=False)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(PacketError):
+            decode_itp(b"\x00" * 10)
+
+
+class TestClampIncrement:
+    def test_within_limit_unchanged(self):
+        d = np.array([1e-4, -1e-4, 0.0])
+        assert np.allclose(clamp_increment(d), d)
+
+    def test_clamps_per_axis(self):
+        d = np.array([1.0, -1.0, 0.0])
+        out = clamp_increment(d)
+        assert out[0] == constants.ITP_MAX_INCREMENT_M
+        assert out[1] == -constants.ITP_MAX_INCREMENT_M
+
+    def test_custom_limit(self):
+        out = clamp_increment(np.array([1.0, 0, 0]), limit=0.1)
+        assert out[0] == 0.1

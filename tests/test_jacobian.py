@@ -1,0 +1,63 @@
+"""Tests for repro.kinematics.jacobian."""
+
+import numpy as np
+
+from repro.kinematics.jacobian import position_jacobian, tip_speed, tip_velocity
+from tests.conftest import random_joint_vector
+
+
+def numeric_jacobian(arm, q, eps=1e-7):
+    jac = np.empty((3, 3))
+    for i in range(3):
+        dq = np.zeros(3)
+        dq[i] = eps
+        jac[:, i] = (arm.forward(q + dq) - arm.forward(q - dq)) / (2 * eps)
+    return jac
+
+
+class TestPositionJacobian:
+    def test_matches_finite_differences(self, arm, rng):
+        for _ in range(30):
+            q = random_joint_vector(rng)
+            analytic = position_jacobian(arm, q)
+            numeric = numeric_jacobian(arm, q)
+            assert np.allclose(analytic, numeric, atol=1e-6), q
+
+    def test_insertion_column_is_tool_axis(self, arm, rng):
+        q = random_joint_vector(rng)
+        jac = position_jacobian(arm, q)
+        assert np.allclose(jac[:, 2], arm.tool_axis(q[0], q[1]), atol=1e-12)
+
+    def test_joint1_column_orthogonal_to_z(self, arm, rng):
+        # Rotation about the (vertical) base axis cannot move the tip
+        # vertically.
+        q = random_joint_vector(rng)
+        jac = position_jacobian(arm, q)
+        assert abs(jac[2, 0]) < 1e-12
+
+    def test_columns_scale_with_depth(self, arm):
+        q = np.array([0.3, 1.2, 0.1])
+        q2 = np.array([0.3, 1.2, 0.2])
+        j1 = position_jacobian(arm, q)
+        j2 = position_jacobian(arm, q2)
+        assert np.allclose(j2[:, 0], 2 * j1[:, 0], atol=1e-12)
+        assert np.allclose(j2[:, 1], 2 * j1[:, 1], atol=1e-12)
+        assert np.allclose(j2[:, 2], j1[:, 2], atol=1e-12)
+
+
+class TestTipVelocity:
+    def test_pure_insertion_velocity(self, arm, rng):
+        q = random_joint_vector(rng)
+        v = tip_velocity(arm, q, np.array([0.0, 0.0, 0.02]))
+        assert np.allclose(v, 0.02 * arm.tool_axis(q[0], q[1]), atol=1e-12)
+
+    def test_speed_is_norm(self, arm, rng):
+        q = random_joint_vector(rng)
+        qdot = rng.standard_normal(3) * 0.1
+        assert np.isclose(
+            tip_speed(arm, q, qdot), np.linalg.norm(tip_velocity(arm, q, qdot))
+        )
+
+    def test_zero_rates_zero_velocity(self, arm, rng):
+        q = random_joint_vector(rng)
+        assert tip_speed(arm, q, np.zeros(3)) == 0.0

@@ -1,0 +1,186 @@
+"""Tests for repro.dynamics.manipulator."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics.friction import FrictionModel
+from repro.dynamics.manipulator import (
+    GRAVITY,
+    ManipulatorDynamics,
+    ManipulatorParameters,
+    _solve3,
+)
+from tests.conftest import random_joint_vector
+
+
+class TestParameters:
+    def test_defaults_valid(self):
+        ManipulatorParameters()
+
+    def test_negative_mass_rejected(self):
+        with pytest.raises(ValueError):
+            ManipulatorParameters(instrument_mass=-0.1)
+
+    def test_wrong_inertia_shape_rejected(self):
+        with pytest.raises(ValueError):
+            ManipulatorParameters(base_inertias=np.array([1.0, 2.0]))
+
+    def test_scaled(self):
+        p = ManipulatorParameters().scaled(1.5)
+        base = ManipulatorParameters()
+        assert p.instrument_mass == pytest.approx(1.5 * base.instrument_mass)
+        assert np.allclose(p.base_inertias, 1.5 * base.base_inertias)
+        assert p.link2_com_radius == base.link2_com_radius
+
+
+class TestSolve3:
+    def test_matches_numpy(self, rng):
+        for _ in range(20):
+            a = rng.standard_normal((3, 3))
+            m = a @ a.T + 0.5 * np.eye(3)
+            b = rng.standard_normal(3)
+            assert np.allclose(_solve3(m, b), np.linalg.solve(m, b), atol=1e-10)
+
+
+class TestMassMatrix:
+    def test_symmetric_positive_definite(self, dynamics, rng):
+        for _ in range(20):
+            q = random_joint_vector(rng)
+            m = dynamics.mass_matrix(q)
+            assert np.allclose(m, m.T, atol=1e-12)
+            assert np.all(np.linalg.eigvalsh(m) > 0)
+
+    def test_inertia_grows_with_insertion(self, dynamics):
+        # Deeper insertion -> larger lever arm -> more inertia about joints.
+        q_shallow = np.array([0.2, 1.5, 0.06])
+        q_deep = np.array([0.2, 1.5, 0.28])
+        m_s = dynamics.mass_matrix(q_shallow)
+        m_d = dynamics.mass_matrix(q_deep)
+        assert m_d[0, 0] > m_s[0, 0]
+        assert m_d[1, 1] > m_s[1, 1]
+
+    def test_prismatic_inertia_is_total_mass(self, dynamics, rng):
+        q = random_joint_vector(rng)
+        m = dynamics.mass_matrix(q)
+        p = dynamics.params
+        assert m[2, 2] == pytest.approx(
+            p.base_inertias[2] + p.instrument_mass, rel=1e-9
+        )
+
+
+class TestForces:
+    def test_gravity_matches_potential_gradient(self, dynamics, rng):
+        # g(q) must equal the numeric gradient of the potential energy.
+        p = dynamics.params
+        eps = 1e-7
+
+        def potential(q):
+            tip = dynamics.arm.forward(q)
+            com2 = p.link2_com_radius * dynamics.arm.tool_axis(q[0], q[1])
+            return -p.instrument_mass * (GRAVITY @ tip) - p.link2_mass * (
+                GRAVITY @ com2
+            )
+
+        for _ in range(10):
+            q = random_joint_vector(rng)
+            numeric = np.array(
+                [
+                    (potential(q + e) - potential(q - e)) / (2 * eps)
+                    for e in np.eye(3) * eps
+                ]
+            )
+            assert np.allclose(dynamics.gravity_force(q), numeric, atol=1e-5)
+
+    def test_coriolis_zero_at_rest(self, dynamics, rng):
+        q = random_joint_vector(rng)
+        assert np.allclose(dynamics.coriolis_force(q, np.zeros(3)), 0.0)
+
+    def test_coriolis_quadratic_in_velocity(self, dynamics, rng):
+        q = random_joint_vector(rng)
+        qdot = np.array([0.3, -0.2, 0.05])
+        c1 = dynamics.coriolis_force(q, qdot)
+        c2 = dynamics.coriolis_force(q, 2 * qdot)
+        assert np.allclose(c2, 4 * c1, rtol=1e-3, atol=1e-8)
+
+    def test_disabled_terms(self, rng):
+        dyn = ManipulatorDynamics(include_coriolis=False, include_gravity=False)
+        q = random_joint_vector(rng)
+        assert np.allclose(dyn.coriolis_force(q, np.ones(3)), 0.0)
+        assert np.allclose(dyn.gravity_force(q), 0.0)
+
+
+class TestAcceleration:
+    def test_gravity_compensation_holds_still(self, dynamics, rng):
+        q = random_joint_vector(rng)
+        tau = dynamics.gravity_compensation(q)
+        acc = dynamics.acceleration(q, np.zeros(3), tau)
+        assert np.allclose(acc, 0.0, atol=1e-9)
+
+    def test_torque_produces_aligned_acceleration(self, dynamics, rng):
+        q = random_joint_vector(rng)
+        tau = dynamics.gravity_compensation(q) + np.array([0.5, 0.0, 0.0])
+        acc = dynamics.acceleration(q, np.zeros(3), tau)
+        assert acc[0] > 0
+
+    def test_extra_inertia_slows_response(self, dynamics, rng):
+        q = random_joint_vector(rng)
+        tau = dynamics.gravity_compensation(q) + np.array([1.0, 0.0, 0.0])
+        fast = dynamics.acceleration(q, np.zeros(3), tau)
+        slow = dynamics.acceleration(
+            q, np.zeros(3), tau, extra_inertia=np.eye(3) * 0.05
+        )
+        assert abs(slow[0]) < abs(fast[0])
+
+    def test_extra_damping_opposes_velocity(self, dynamics, rng):
+        q = random_joint_vector(rng)
+        qdot = np.array([1.0, 0.0, 0.0])
+        tau = dynamics.gravity_compensation(q)
+        no_damp = dynamics.acceleration(q, qdot, tau)
+        damped = dynamics.acceleration(
+            q, qdot, tau, extra_damping=np.eye(3) * 0.5
+        )
+        assert damped[0] < no_damp[0]
+
+    def test_consistent_with_split_terms(self, dynamics, rng):
+        # acceleration() must equal the explicitly assembled EOM.
+        q = random_joint_vector(rng)
+        qdot = np.array([0.2, -0.1, 0.03])
+        tau = np.array([0.4, 0.1, 1.0])
+        rhs = (
+            tau
+            - dynamics.coriolis_force(q, qdot)
+            - dynamics.gravity_force(q)
+            - dynamics.friction_force(qdot)
+        )
+        expected = np.linalg.solve(dynamics.mass_matrix(q), rhs)
+        assert np.allclose(
+            dynamics.acceleration(q, qdot, tau), expected, atol=1e-8
+        )
+
+    def test_frictionless_energy_conservation(self, rng):
+        # With no friction, integrating the free EOM conserves energy.
+        dyn = ManipulatorDynamics(
+            friction=FrictionModel(
+                viscous=np.zeros(3), coulomb=np.zeros(3)
+            )
+        )
+        q = np.array([0.1, 1.4, 0.15])
+        qdot = np.array([0.3, -0.2, 0.02])
+
+        def energy(q, qdot):
+            p = dyn.params
+            kinetic = 0.5 * qdot @ dyn.mass_matrix(q) @ qdot
+            tip = dyn.arm.forward(q)
+            com2 = p.link2_com_radius * dyn.arm.tool_axis(q[0], q[1])
+            potential = -p.instrument_mass * (GRAVITY @ tip) - p.link2_mass * (
+                GRAVITY @ com2
+            )
+            return kinetic + potential
+
+        e0 = energy(q, qdot)
+        h = 1e-5
+        for _ in range(2000):
+            acc = dyn.acceleration(q, qdot, np.zeros(3))
+            q = q + h * qdot + 0.5 * h * h * acc
+            qdot = qdot + h * acc
+        assert energy(q, qdot) == pytest.approx(e0, rel=5e-3)

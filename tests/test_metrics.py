@@ -1,0 +1,63 @@
+"""Tests for repro.core.metrics."""
+
+import pytest
+
+from repro.core.metrics import ConfusionMatrix, classification_report
+
+
+class TestConfusionMatrix:
+    def test_from_pairs(self):
+        pairs = [(True, True), (True, False), (False, True), (False, False)]
+        m = ConfusionMatrix.from_pairs(pairs)
+        assert (m.tp, m.fn, m.fp, m.tn) == (1, 1, 1, 1)
+
+    def test_accuracy(self):
+        m = ConfusionMatrix(tp=8, tn=2, fp=0, fn=0)
+        assert m.accuracy == 1.0
+        m = ConfusionMatrix(tp=5, tn=4, fp=1, fn=0)
+        assert m.accuracy == pytest.approx(0.9)
+
+    def test_tpr(self):
+        m = ConfusionMatrix(tp=9, fn=1)
+        assert m.tpr == pytest.approx(0.9)
+
+    def test_fpr(self):
+        m = ConfusionMatrix(fp=1, tn=9)
+        assert m.fpr == pytest.approx(0.1)
+
+    def test_precision_and_f1(self):
+        m = ConfusionMatrix(tp=6, fp=2, fn=2)
+        assert m.precision == pytest.approx(0.75)
+        assert m.f1 == pytest.approx(2 * 0.75 * 0.75 / 1.5)
+
+    def test_empty_matrix_zeroes(self):
+        m = ConfusionMatrix()
+        assert m.accuracy == 0.0
+        assert m.tpr == 0.0
+        assert m.fpr == 0.0
+        assert m.f1 == 0.0
+
+    def test_no_positives_tpr_zero(self):
+        m = ConfusionMatrix(tn=10)
+        assert m.tpr == 0.0
+
+    def test_addition_pools_counts(self):
+        a = ConfusionMatrix(tp=1, fp=2, tn=3, fn=4)
+        b = ConfusionMatrix(tp=10, fp=20, tn=30, fn=40)
+        c = a + b
+        assert (c.tp, c.fp, c.tn, c.fn) == (11, 22, 33, 44)
+
+    def test_total(self):
+        assert ConfusionMatrix(tp=1, fp=2, tn=3, fn=4).total == 10
+
+    def test_perfect_detector(self):
+        pairs = [(True, True)] * 50 + [(False, False)] * 50
+        m = ConfusionMatrix.from_pairs(pairs)
+        assert m.accuracy == 1.0 and m.f1 == 1.0 and m.fpr == 0.0
+
+    def test_report_format(self):
+        m = ConfusionMatrix(tp=9, fn=1, fp=1, tn=9)
+        report = classification_report(m, name="dynmodel")
+        assert "dynmodel" in report
+        assert "ACC  90.0" in report
+        assert "n=20" in report

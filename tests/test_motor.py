@@ -1,0 +1,86 @@
+"""Tests for repro.dynamics.motor."""
+
+import pytest
+
+from repro.dynamics.motor import MAXON_RE30, MAXON_RE40, MotorParameters
+
+
+class TestDatasheets:
+    def test_re40_constants(self):
+        assert MAXON_RE40.torque_constant == pytest.approx(30.2e-3)
+        assert MAXON_RE40.rotor_inertia == pytest.approx(1.42e-5)
+
+    def test_re30_smaller_than_re40(self):
+        assert MAXON_RE30.rotor_inertia < MAXON_RE40.rotor_inertia
+        assert MAXON_RE30.max_current < MAXON_RE40.max_current
+
+    def test_kt_equals_ke_in_si(self):
+        assert MAXON_RE40.torque_constant == MAXON_RE40.back_emf_constant
+
+
+class TestMotorBehaviour:
+    def test_torque_linear_in_current(self):
+        assert MAXON_RE40.torque(2.0) == pytest.approx(2 * MAXON_RE40.torque(1.0))
+
+    def test_clamp_current_limits(self):
+        m = MAXON_RE40
+        assert m.clamp_current(100.0) == m.max_current
+        assert m.clamp_current(-100.0) == -m.max_current
+        assert m.clamp_current(1.0) == 1.0
+
+    def test_current_derivative_tracks_setpoint(self):
+        m = MAXON_RE40
+        assert m.current_derivative(0.0, 1.0) > 0
+        assert m.current_derivative(1.0, 0.0) < 0
+        assert m.current_derivative(1.0, 1.0) == 0.0
+
+    def test_current_derivative_respects_clamp(self):
+        m = MAXON_RE40
+        # Setpoint beyond the amp limit behaves like the limit itself.
+        assert m.current_derivative(0.0, 100.0) == m.current_derivative(
+            0.0, m.max_current
+        )
+
+    def test_electrical_time_constant(self):
+        m = MAXON_RE40
+        assert m.electrical_time_constant() == pytest.approx(
+            m.terminal_inductance / m.terminal_resistance
+        )
+
+
+class TestValidationAndPerturbation:
+    def test_negative_parameter_rejected(self):
+        with pytest.raises(ValueError):
+            MotorParameters(
+                name="bad",
+                torque_constant=-1.0,
+                back_emf_constant=1.0,
+                terminal_resistance=1.0,
+                terminal_inductance=1.0,
+                rotor_inertia=1.0,
+                viscous_damping=0.0,
+                max_current=1.0,
+            )
+
+    def test_negative_damping_rejected(self):
+        with pytest.raises(ValueError):
+            MotorParameters(
+                name="bad",
+                torque_constant=1.0,
+                back_emf_constant=1.0,
+                terminal_resistance=1.0,
+                terminal_inductance=1.0,
+                rotor_inertia=1.0,
+                viscous_damping=-1e-9,
+                max_current=1.0,
+            )
+
+    def test_perturbed_scales_inertial_terms(self):
+        p = MAXON_RE40.perturbed(1.1)
+        assert p.rotor_inertia == pytest.approx(1.1 * MAXON_RE40.rotor_inertia)
+        assert p.torque_constant == pytest.approx(1.1 * MAXON_RE40.torque_constant)
+        # Amplifier limits are unchanged: the attacker-visible envelope.
+        assert p.max_current == MAXON_RE40.max_current
+
+    def test_perturbed_renames(self):
+        assert MAXON_RE40.perturbed(1.05).name.endswith("-model")

@@ -1,0 +1,140 @@
+"""Tests for repro.attacks.network (the Bonaci-style wire baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.network import (
+    TamperingChannel,
+    make_blind_mitm_adversary,
+    make_dos_adversary,
+    make_mitm_adversary,
+)
+from repro.errors import AttackConfigError
+from repro.sim.rig import RigConfig, SurgicalRig
+from repro.sim.runner import run_fault_free
+from repro.teleop.itp import ItpPacket, decode_itp, encode_itp
+
+DURATION = 1.2
+
+
+class TestTamperingChannel:
+    def test_passthrough_adversary(self):
+        channel = TamperingChannel(lambda d: d)
+        channel.send(b"x", 0.0)
+        assert channel.receive(0.0) == b"x"
+        assert channel.attack_stats.seen == 1
+        assert channel.attack_stats.modified == 0
+
+    def test_drop(self):
+        channel = TamperingChannel(lambda d: None)
+        channel.send(b"x", 0.0)
+        assert channel.receive(10.0) is None
+        assert channel.attack_stats.dropped == 1
+
+    def test_delay(self):
+        channel = TamperingChannel(lambda d: (d, 0.5))
+        channel.send(b"x", 0.0)
+        assert channel.receive(0.4) is None
+        assert channel.receive(0.6) == b"x"
+        assert channel.attack_stats.delayed == 1
+
+    def test_modify_counted(self):
+        channel = TamperingChannel(lambda d: d + b"!")
+        channel.send(b"x", 0.0)
+        assert channel.receive(0.0) == b"x!"
+        assert channel.attack_stats.modified == 1
+
+
+class TestMitmAdversary:
+    def test_rewrites_increment_with_valid_checksum(self):
+        adversary = make_mitm_adversary(error_m=1e-3, axis=1, start_after=0)
+        original = encode_itp(ItpPacket(0, True, np.zeros(3)))
+        forged = adversary(original)
+        decoded = decode_itp(forged)  # checksum verifies
+        assert decoded.dpos[1] == pytest.approx(1e-3)
+
+    def test_without_checksum_fix_rejected_by_software(self):
+        adversary = make_mitm_adversary(
+            error_m=1e-3, start_after=0, fix_checksum=False
+        )
+        original = encode_itp(ItpPacket(0, True, np.zeros(3)))
+        forged = adversary(original)
+        from repro.errors import ChecksumError
+
+        with pytest.raises(ChecksumError):
+            decode_itp(forged)
+
+    def test_start_after_grace_period(self):
+        adversary = make_mitm_adversary(error_m=1e-3, start_after=3)
+        original = encode_itp(ItpPacket(0, True, np.zeros(3)))
+        assert adversary(original) == original
+        assert adversary(original) == original
+        assert adversary(original) != original  # third packet onward
+
+    def test_bad_axis_rejected(self):
+        with pytest.raises(AttackConfigError):
+            make_mitm_adversary(axis=5)
+
+    def test_non_itp_traffic_untouched(self):
+        adversary = make_mitm_adversary(start_after=0)
+        assert adversary(b"short") == b"short"
+
+
+class TestDosAdversary:
+    def test_bad_probability_rejected(self, rng):
+        with pytest.raises(AttackConfigError):
+            make_dos_adversary(rng, drop_probability=1.5)
+
+    def test_degrades_teleoperation(self, rng):
+        """DoS: the robot keeps running but tracking degrades — 'jerky
+        motions or difficulty in performing tasks' (Bonaci et al.)."""
+        reference = run_fault_free(seed=55, duration_s=DURATION)
+
+        adversary = make_dos_adversary(
+            np.random.default_rng(1), drop_probability=0.7,
+            delay_s=0.04, delay_probability=0.2, start_after=500,
+        )
+        channel = TamperingChannel(adversary)
+        config = RigConfig(seed=55, duration_s=DURATION)
+        rig = SurgicalRig(config, channel=channel)
+        trace = rig.run()
+
+        # No crash, no E-STOP...
+        assert not trace.estop_occurred()
+        # ...but the motion deviates from the intended path.
+        deviation = trace.max_deviation_from(reference)
+        assert deviation > 1e-4
+        assert channel.attack_stats.dropped > 50
+
+
+class TestMitmInRig:
+    def test_wire_mitm_hijacks_plain_itp(self):
+        """Against plain ITP, the wire adversary steers the robot."""
+        reference = run_fault_free(seed=56, duration_s=DURATION)
+        adversary = make_mitm_adversary(error_m=1e-4, axis=0, start_after=600)
+        channel = TamperingChannel(adversary)
+        config = RigConfig(seed=56, duration_s=DURATION)
+        trace = SurgicalRig(config, channel=channel).run()
+        assert channel.attack_stats.modified > 0
+        assert trace.max_deviation_from(reference) > 1e-3
+
+
+class TestBlindMitm:
+    def test_blind_flips_do_not_validate(self):
+        adversary = make_blind_mitm_adversary(start_after=0)
+        original = encode_itp(ItpPacket(0, True, np.zeros(3)))
+        forged = adversary(original)
+        from repro.errors import ChecksumError
+
+        with pytest.raises(ChecksumError):
+            decode_itp(forged)
+
+    def test_rig_survives_blind_mitm(self):
+        """The control software discards corrupted packets and coasts."""
+        adversary = make_blind_mitm_adversary(start_after=600)
+        channel = TamperingChannel(adversary)
+        config = RigConfig(seed=57, duration_s=DURATION)
+        rig = SurgicalRig(config, channel=channel)
+        trace = rig.run()
+        assert rig.controller.bad_packets > 0
+        assert not trace.estop_occurred()

@@ -1,0 +1,92 @@
+"""Tests for repro.control.pid."""
+
+import numpy as np
+import pytest
+
+from repro.control.pid import DEFAULT_GAINS, MotorPid, PidGains
+
+
+class TestPidGains:
+    def test_negative_gain_rejected(self):
+        with pytest.raises(ValueError):
+            PidGains(kp=-1.0, ki=0.0, kd=0.0)
+
+    def test_zero_integral_limit_rejected(self):
+        with pytest.raises(ValueError):
+            PidGains(kp=1.0, ki=1.0, kd=0.0, integral_limit=0.0)
+
+
+class TestMotorPid:
+    def test_zero_error_zero_output_initially(self):
+        pid = MotorPid()
+        out = pid.update(np.zeros(3), np.zeros(3))
+        assert np.allclose(out, 0.0)
+
+    def test_proportional_direction(self):
+        pid = MotorPid()
+        out = pid.update(np.array([1.0, -1.0, 0.0]), np.zeros(3))
+        assert out[0] > 0 and out[1] < 0 and out[2] == pytest.approx(0.0, abs=1e-9)
+
+    def test_integral_accumulates(self):
+        pid = MotorPid(gains=[PidGains(kp=0.0, ki=1.0, kd=0.0)] * 3)
+        first = pid.update(np.ones(3), np.zeros(3))
+        second = pid.update(np.ones(3), np.zeros(3))
+        assert np.all(second > first)
+
+    def test_integral_clamped(self):
+        pid = MotorPid(
+            gains=[PidGains(kp=0.0, ki=1.0, kd=0.0, integral_limit=0.01)] * 3
+        )
+        for _ in range(1000):
+            pid.update(np.ones(3), np.zeros(3))
+        assert np.all(pid.integral <= 0.01 + 1e-12)
+
+    def test_derivative_on_measurement_no_setpoint_kick(self):
+        pid = MotorPid(gains=[PidGains(kp=0.0, ki=0.0, kd=1.0)] * 3)
+        pid.update(np.zeros(3), np.zeros(3))
+        # A setpoint step with a constant measurement has no D response.
+        out = pid.update(np.ones(3) * 100, np.zeros(3))
+        assert np.allclose(out, 0.0)
+
+    def test_derivative_opposes_measurement_motion(self):
+        pid = MotorPid(gains=[PidGains(kp=0.0, ki=0.0, kd=1.0)] * 3)
+        pid.update(np.zeros(3), np.zeros(3))
+        out = pid.update(np.zeros(3), np.array([0.1, 0.0, 0.0]))
+        assert out[0] < 0
+
+    def test_output_saturates_at_amplifier_limit(self):
+        from repro import constants
+
+        pid = MotorPid()
+        out = pid.update(np.array([100.0, 0, 0]), np.zeros(3))
+        assert out[0] == pytest.approx(constants.DAC_FULL_SCALE_CURRENT_A)
+
+    def test_custom_output_limit(self):
+        pid = MotorPid(output_limit_a=[0.5, 0.5, 0.5])
+        out = pid.update(np.ones(3) * 100, np.zeros(3))
+        assert np.allclose(out, 0.5)
+
+    def test_reset_clears_state(self):
+        pid = MotorPid()
+        pid.update(np.ones(3), np.zeros(3))
+        pid.reset()
+        assert np.allclose(pid.integral, 0.0)
+        # No derivative memory after reset.
+        out = pid.update(np.zeros(3), np.zeros(3))
+        assert np.allclose(out, 0.0)
+
+    def test_default_gains_are_three_axes(self):
+        assert len(DEFAULT_GAINS) == 3
+
+    def test_closed_loop_converges_on_plant(self, released_plant):
+        """PID around the real plant reaches a nearby motor setpoint."""
+        from repro import constants
+        from repro.dynamics.plant import current_to_dac
+
+        plant = released_plant
+        pid = MotorPid()
+        target = plant.mpos + np.array([0.5, 0.5, 0.5])
+        for _ in range(2500):
+            cmd = pid.update(target, plant.mpos)
+            plant.step(current_to_dac(cmd))
+        assert np.allclose(plant.mpos, target, atol=0.05)

@@ -1,0 +1,149 @@
+"""Tests for repro.core.pipeline (DetectorGuard) and mitigation strategies."""
+
+import numpy as np
+import pytest
+
+from repro.control.state_machine import RobotState
+from repro.core.detector import AnomalyDetector
+from repro.core.estimator import NextStateEstimator
+from repro.core.mitigation import MitigationStrategy
+from repro.core.pipeline import DetectorGuard
+from repro.dynamics.plant import RavenPlant
+from repro.errors import DetectorError
+from repro.hw.encoder import EncoderBank
+from repro.hw.motor_controller import MotorController
+from repro.hw.plc import Plc
+from repro.hw.usb_board import UsbBoard
+from repro.hw.usb_packet import encode_command_packet
+from repro.kinematics.workspace import Workspace
+
+
+def make_board():
+    plant = RavenPlant(initial_jpos=Workspace().neutral())
+    plant.release_brakes()
+    mc = MotorController(plant)
+    plc = Plc(plant, mc)
+    return UsbBoard(mc, plc, EncoderBank()), plant, mc, plc
+
+
+def make_guard(thresholds, strategy=MitigationStrategy.MONITOR):
+    return DetectorGuard(
+        estimator=NextStateEstimator(),
+        detector=AnomalyDetector(thresholds),
+        strategy=strategy,
+    )
+
+
+PD = RobotState.PEDAL_DOWN
+UP = RobotState.PEDAL_UP
+
+
+class TestMitigationStrategy:
+    def test_monitor_does_not_block(self):
+        assert not MitigationStrategy.MONITOR.blocks
+        assert not MitigationStrategy.MONITOR.stops_robot
+
+    def test_block(self):
+        assert MitigationStrategy.BLOCK.blocks
+        assert not MitigationStrategy.BLOCK.stops_robot
+
+    def test_block_and_estop(self):
+        assert MitigationStrategy.BLOCK_AND_ESTOP.blocks
+        assert MitigationStrategy.BLOCK_AND_ESTOP.stops_robot
+
+
+class TestDetectorGuard:
+    def test_unattached_guard_raises(self, loose_thresholds):
+        guard = make_guard(loose_thresholds)
+        packet_bytes = encode_command_packet(PD, True, [0, 0, 0])
+        from repro.hw.usb_packet import decode_command_packet
+
+        with pytest.raises(DetectorError):
+            guard(decode_command_packet(packet_bytes), packet_bytes)
+
+    def test_quiet_traffic_passes(self, loose_thresholds):
+        board, _plant, mc, _plc = make_board()
+        guard = make_guard(loose_thresholds)
+        guard.attach(board)
+        board.fd_write(encode_command_packet(PD, True, [100, 0, 0]))
+        assert guard.stats.packets_seen == 1
+        assert guard.stats.alerts == 0
+        assert mc.latched_dac[0] == 100
+
+    def test_non_pedal_down_not_evaluated(self, tight_thresholds):
+        board, _plant, _mc, _plc = make_board()
+        guard = make_guard(tight_thresholds)
+        guard.attach(board)
+        board.fd_write(encode_command_packet(UP, True, [0, 0, 0]))
+        assert guard.stats.packets_seen == 1
+        assert guard.stats.packets_evaluated == 0
+
+    def test_monitor_mode_alerts_without_blocking(self, tight_thresholds):
+        board, _plant, mc, _plc = make_board()
+        guard = make_guard(tight_thresholds, MitigationStrategy.MONITOR)
+        guard.attach(board)
+        board.fd_write(encode_command_packet(PD, True, [20000, 0, 0]))
+        assert guard.stats.alerts == 1
+        assert guard.stats.blocked == 0
+        assert mc.latched_dac[0] == 20000  # executed anyway
+
+    def test_block_mode_prevents_execution(self, tight_thresholds):
+        board, _plant, mc, _plc = make_board()
+        guard = make_guard(tight_thresholds, MitigationStrategy.BLOCK)
+        guard.attach(board)
+        board.fd_write(encode_command_packet(PD, True, [20000, 0, 0]))
+        assert guard.stats.blocked == 1
+        assert mc.latched_dac[0] == 0  # robot holds the last safe command
+        assert not board.plc.estop_latched
+
+    def test_block_and_estop_latches_plc(self, tight_thresholds):
+        board, _plant, _mc, plc = make_board()
+        guard = make_guard(tight_thresholds, MitigationStrategy.BLOCK_AND_ESTOP)
+        guard.attach(board)
+        board.fd_write(encode_command_packet(PD, True, [20000, 0, 0]))
+        assert plc.estop_latched
+        assert "detector" in plc.estop_reason
+
+    def test_alert_events_recorded(self, tight_thresholds):
+        board, _plant, _mc, _plc = make_board()
+        guard = make_guard(tight_thresholds)
+        guard.attach(board)
+        for _ in range(3):
+            board.fd_write(encode_command_packet(PD, True, [20000, 0, 0]))
+        assert guard.stats.alerted
+        assert guard.stats.first_alert_cycle == 1
+        assert len(guard.stats.alert_events) == 3
+
+    def test_recording_cap_respected(self, tight_thresholds):
+        board, _plant, _mc, _plc = make_board()
+        guard = make_guard(tight_thresholds)
+        guard.max_recorded_alerts = 2
+        guard.attach(board)
+        for _ in range(5):
+            board.fd_write(encode_command_packet(PD, True, [20000, 0, 0]))
+        assert guard.stats.alerts == 5
+        assert len(guard.stats.alert_events) == 2
+
+    def test_reset_clears_stats_and_estimator(self, tight_thresholds):
+        board, _plant, _mc, _plc = make_board()
+        guard = make_guard(tight_thresholds)
+        guard.attach(board)
+        board.fd_write(encode_command_packet(PD, True, [20000, 0, 0]))
+        guard.reset()
+        assert guard.stats.alerts == 0
+        assert not guard.estimator.synced
+
+    def test_preemptive_blocking_keeps_plant_still(self, tight_thresholds):
+        """BLOCK mode: the malicious command never moves the physical arm
+        (beyond the gravity sag an unpowered arm shows anyway)."""
+        board, plant, _mc, _plc = make_board()
+        guard = make_guard(tight_thresholds, MitigationStrategy.BLOCK)
+        guard.attach(board)
+        # Twin plant: what gravity alone does over the same horizon.
+        twin = RavenPlant(initial_jpos=Workspace().neutral())
+        twin.release_brakes()
+        for _ in range(50):
+            board.fd_write(encode_command_packet(PD, True, [30000, 0, 0]))
+            board.motor_controller.tick()
+            twin.step([0, 0, 0])
+        assert np.allclose(plant.jpos, twin.jpos, atol=1e-6)

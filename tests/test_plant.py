@@ -1,0 +1,162 @@
+"""Tests for repro.dynamics.plant."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.dynamics.plant import (
+    RavenPlant,
+    current_to_dac,
+    dac_to_current,
+)
+from repro.errors import DynamicsError
+from repro.kinematics.workspace import Workspace
+
+
+class TestDacConversion:
+    def test_full_scale(self):
+        current = dac_to_current([constants.DAC_FULL_SCALE])
+        assert current[0] == pytest.approx(constants.DAC_FULL_SCALE_CURRENT_A)
+
+    def test_roundtrip(self, rng):
+        dac = rng.uniform(-30000, 30000, 3)
+        assert np.allclose(current_to_dac(dac_to_current(dac)), dac)
+
+    def test_sign_preserved(self):
+        assert dac_to_current([-1000])[0] < 0
+
+
+class TestPlantConstruction:
+    def test_wrong_motor_count_rejected(self):
+        from repro.dynamics.motor import MAXON_RE40
+
+        with pytest.raises(DynamicsError):
+            RavenPlant(motors=[MAXON_RE40, MAXON_RE40])
+
+    def test_zero_substeps_rejected(self):
+        with pytest.raises(DynamicsError):
+            RavenPlant(substeps=0)
+
+    def test_starts_braked_at_initial_pose(self):
+        q0 = Workspace().neutral()
+        plant = RavenPlant(initial_jpos=q0)
+        assert plant.brakes_engaged
+        assert np.allclose(plant.jpos, q0)
+        assert np.allclose(plant.jvel, 0.0)
+
+
+class TestBrakes:
+    def test_braked_plant_ignores_dac(self):
+        plant = RavenPlant()
+        q0 = plant.jpos
+        for _ in range(50):
+            plant.step([20000, 20000, 10000])
+        assert np.allclose(plant.jpos, q0)
+
+    def test_released_plant_moves_under_torque(self, released_plant):
+        q0 = released_plant.jpos
+        for _ in range(50):
+            released_plant.step([8000, 0, 0])
+        assert abs(released_plant.jpos[0] - q0[0]) > 1e-5
+
+    def test_brake_engage_has_delay(self, released_plant):
+        plant = released_plant
+        # Build up speed, then request the brakes.
+        for _ in range(80):
+            plant.step([12000, 0, 0])
+        v_before = plant.jvel[0]
+        assert v_before > 0
+        plant.engage_brakes()
+        assert not plant.brakes_engaged
+        assert plant.brakes_engaging
+        # During the delay the arm coasts (moves without motor power).
+        q_at_request = plant.jpos[0]
+        plant.step([12000, 0, 0])  # DAC ignored while closing
+        assert plant.jpos[0] > q_at_request
+        # After the delay elapses the brakes lock and velocity zeroes.
+        for _ in range(int(plant.brake_delay_s / constants.CONTROL_PERIOD_S) + 2):
+            plant.step([0, 0, 0])
+        assert plant.brakes_engaged
+        assert np.allclose(plant.jvel, 0.0)
+
+    def test_engage_idempotent_during_countdown(self, released_plant):
+        plant = released_plant
+        plant.engage_brakes()
+        countdown = plant._brake_countdown
+        plant.step([0, 0, 0])
+        plant.engage_brakes()  # must not restart the countdown
+        assert plant._brake_countdown < countdown
+
+    def test_release_cancels_countdown(self, released_plant):
+        plant = released_plant
+        plant.engage_brakes()
+        plant.release_brakes()
+        assert not plant.brakes_engaging
+        assert not plant.brakes_engaged
+
+    def test_zero_delay_locks_immediately(self):
+        plant = RavenPlant()
+        plant.release_brakes()
+        plant.brake_delay_s = 0.0
+        plant.engage_brakes()
+        assert plant.brakes_engaged
+
+
+class TestDynamicsBehaviour:
+    def test_gravity_sags_unpowered_arm(self):
+        plant = RavenPlant(initial_jpos=Workspace().neutral())
+        plant.release_brakes()
+        q0 = plant.jpos
+        for _ in range(200):
+            plant.step([0, 0, 0])
+        # Some joint must move under gravity with zero current.
+        assert np.linalg.norm(plant.jpos - q0) > 1e-5
+
+    def test_current_tracks_setpoint(self, released_plant):
+        plant = released_plant
+        for _ in range(10):
+            plant.step([10000, 0, 0])
+        expected = dac_to_current([10000])[0]
+        assert plant.currents[0] == pytest.approx(expected, rel=1e-3)
+
+    def test_current_clamped_at_amp_limit(self, released_plant):
+        plant = released_plant
+        for _ in range(10):
+            plant.step([32767, 0, 0])
+        assert plant.currents[0] <= plant.motors[0].max_current + 1e-9
+
+    def test_motor_positions_follow_transmission(self, released_plant):
+        plant = released_plant
+        plant.step([3000, -2000, 1000])
+        assert np.allclose(
+            plant.mpos, plant.transmission.motor_positions(plant.jpos)
+        )
+
+    def test_time_advances(self, released_plant):
+        t0 = released_plant.time
+        released_plant.step([0, 0, 0])
+        assert released_plant.time == pytest.approx(
+            t0 + constants.CONTROL_PERIOD_S
+        )
+
+    def test_set_state(self, released_plant):
+        q = np.array([0.2, 1.3, 0.12])
+        released_plant.set_state(q)
+        assert np.allclose(released_plant.jpos, q)
+        assert np.allclose(released_plant.jvel, 0.0)
+
+    def test_snapshot_is_copy(self, released_plant):
+        snap = released_plant.snapshot()
+        snap.jpos[0] = 99.0
+        assert released_plant.jpos[0] != 99.0
+
+    def test_integrator_choice_changes_little_at_substeps(self):
+        # Euler at 4 substeps should land close to RK4 at 2 substeps.
+        kwargs = dict(initial_jpos=Workspace().neutral())
+        p_rk4 = RavenPlant(integrator="rk4", substeps=2, **kwargs)
+        p_eul = RavenPlant(integrator="euler", substeps=4, **kwargs)
+        for p in (p_rk4, p_eul):
+            p.release_brakes()
+            for _ in range(100):
+                p.step([5000, -3000, 2000])
+        assert np.allclose(p_rk4.jpos, p_eul.jpos, atol=1e-3)

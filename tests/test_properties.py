@@ -1,0 +1,240 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import constants
+from repro.attacks.malware import PedalDownTrigger
+from repro.control.state_machine import RobotState
+from repro.core.metrics import ConfusionMatrix
+from repro.dynamics.transmission import Transmission
+from repro.hw.usb_packet import (
+    decode_command_packet,
+    decode_feedback_packet,
+    encode_command_packet,
+    encode_feedback_packet,
+)
+from repro.kinematics.frames import matrix_to_quat, quat_normalize, quat_to_matrix
+from repro.kinematics.spherical_arm import SphericalArm
+from repro.kinematics.workspace import Workspace
+from repro.teleop.itp import ItpPacket, decode_itp, encode_itp
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+joint_vectors = st.tuples(
+    st.floats(-1.1, 1.1),
+    st.floats(0.4, 2.7),
+    st.floats(0.06, 0.29),
+).map(np.array)
+
+dac_channels = st.lists(
+    st.integers(-32768, 32767), min_size=0, max_size=8
+)
+
+encoder_channels = st.lists(
+    st.integers(-(1 << 23), (1 << 23) - 1), min_size=0, max_size=8
+)
+
+states = st.sampled_from(list(RobotState))
+
+unit_quats = st.tuples(
+    st.floats(-1, 1), st.floats(-1, 1), st.floats(-1, 1), st.floats(-1, 1)
+).filter(lambda q: sum(x * x for x in q) > 1e-2).map(
+    lambda q: quat_normalize(np.array(q))
+)
+
+small_increments = st.tuples(
+    st.floats(-4e-4, 4e-4), st.floats(-4e-4, 4e-4), st.floats(-4e-4, 4e-4)
+).map(np.array)
+
+
+# ---------------------------------------------------------------------------
+# Kinematics
+# ---------------------------------------------------------------------------
+
+
+class TestKinematicsProperties:
+    @given(q=joint_vectors)
+    @settings(max_examples=200, deadline=None)
+    def test_fk_ik_roundtrip(self, q):
+        arm = SphericalArm()
+        recovered = arm.inverse(arm.forward(q), reference=q)
+        assert np.allclose(recovered, q, atol=1e-7)
+
+    @given(q=joint_vectors)
+    @settings(max_examples=100, deadline=None)
+    def test_tip_distance_equals_insertion(self, q):
+        arm = SphericalArm()
+        assert math.isclose(np.linalg.norm(arm.forward(q)), q[2], rel_tol=1e-9)
+
+    @given(q=joint_vectors)
+    @settings(max_examples=100, deadline=None)
+    def test_workspace_clamp_idempotent(self, q):
+        ws = Workspace()
+        once = ws.clamp(q * 3.0)
+        assert np.allclose(ws.clamp(once), once)
+        assert ws.contains(once)
+
+    @given(q=unit_quats)
+    @settings(max_examples=150, deadline=None)
+    def test_quaternion_matrix_roundtrip(self, q):
+        # q and -q encode the same rotation; compare up to global sign
+        # (w == 0 quaternions make the sign genuinely ambiguous).
+        q2 = matrix_to_quat(quat_to_matrix(q))
+        assert np.allclose(q2, q, atol=1e-7) or np.allclose(q2, -q, atol=1e-7)
+
+
+# ---------------------------------------------------------------------------
+# Packet codecs
+# ---------------------------------------------------------------------------
+
+
+class TestPacketProperties:
+    @given(state=states, watchdog=st.booleans(), dac=dac_channels)
+    @settings(max_examples=200, deadline=None)
+    def test_command_roundtrip(self, state, watchdog, dac):
+        packet = decode_command_packet(encode_command_packet(state, watchdog, dac))
+        assert packet.state is state
+        assert packet.watchdog == watchdog
+        assert packet.dac_values[: len(dac)] == dac
+        assert packet.checksum_ok
+
+    @given(state=states, watchdog=st.booleans(), counts=encoder_channels)
+    @settings(max_examples=200, deadline=None)
+    def test_feedback_roundtrip(self, state, watchdog, counts):
+        packet = decode_feedback_packet(
+            encode_feedback_packet(state, watchdog, counts)
+        )
+        assert packet.state is state
+        assert packet.encoder_counts[: len(counts)] == counts
+        assert packet.checksum_ok
+
+    @given(
+        state=states,
+        watchdog=st.booleans(),
+        dac=dac_channels,
+        index=st.integers(1, constants.USB_PACKET_SIZE - 2),
+        flip=st.integers(1, 255),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_any_payload_tamper_breaks_checksum(
+        self, state, watchdog, dac, index, flip
+    ):
+        data = bytearray(encode_command_packet(state, watchdog, dac))
+        data[index] ^= flip
+        assert not decode_command_packet(bytes(data)).checksum_ok
+
+    @given(
+        seq=st.integers(0, 2**32 - 1),
+        pedal=st.booleans(),
+        dpos=small_increments,
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_itp_roundtrip(self, seq, pedal, dpos):
+        packet = ItpPacket(seq, pedal, dpos)
+        decoded = decode_itp(encode_itp(packet))
+        assert decoded.sequence == seq
+        assert decoded.pedal_down == pedal
+        assert np.allclose(decoded.dpos, dpos, atol=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# Transmission
+# ---------------------------------------------------------------------------
+
+
+class TestTransmissionProperties:
+    @given(
+        jpos=st.tuples(st.floats(-5, 5), st.floats(-5, 5), st.floats(-5, 5)).map(
+            np.array
+        ),
+        ratios=st.tuples(
+            st.floats(1.0, 100.0), st.floats(1.0, 100.0), st.floats(1.0, 100.0)
+        ),
+        coupling=st.floats(0.0, 0.2),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_position_roundtrip(self, jpos, ratios, coupling):
+        t = Transmission(gear_ratios=ratios, coupling=coupling)
+        assert np.allclose(t.joint_positions(t.motor_positions(jpos)), jpos,
+                           atol=1e-9)
+
+    @given(
+        tau=st.tuples(st.floats(-1, 1), st.floats(-1, 1), st.floats(-1, 1)).map(
+            np.array
+        ),
+        jdot=st.tuples(st.floats(-1, 1), st.floats(-1, 1), st.floats(-1, 1)).map(
+            np.array
+        ),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_power_conservation(self, tau, jdot):
+        t = Transmission()
+        assert math.isclose(
+            float(t.joint_torques(tau) @ jdot),
+            float(tau @ t.motor_velocities(jdot)),
+            rel_tol=1e-9,
+            abs_tol=1e-12,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+
+
+class TestMetricsProperties:
+    @given(
+        pairs=st.lists(st.tuples(st.booleans(), st.booleans()), min_size=1,
+                       max_size=200)
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_rates_bounded(self, pairs):
+        m = ConfusionMatrix.from_pairs(pairs)
+        for value in (m.accuracy, m.tpr, m.fpr, m.precision, m.f1):
+            assert 0.0 <= value <= 1.0
+        assert m.total == len(pairs)
+
+    @given(
+        a=st.lists(st.tuples(st.booleans(), st.booleans()), max_size=50),
+        b=st.lists(st.tuples(st.booleans(), st.booleans()), max_size=50),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_addition_equals_concatenation(self, a, b):
+        combined = ConfusionMatrix.from_pairs(a) + ConfusionMatrix.from_pairs(b)
+        assert combined == ConfusionMatrix.from_pairs(a + b)
+
+
+# ---------------------------------------------------------------------------
+# Attack trigger
+# ---------------------------------------------------------------------------
+
+
+class TestTriggerProperties:
+    @given(
+        bytes_seen=st.lists(st.integers(0, 255), min_size=1, max_size=300),
+        delay=st.integers(0, 10),
+        duration=st.integers(1, 50),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_activations_never_exceed_duration(self, bytes_seen, delay, duration):
+        trigger = PedalDownTrigger.for_pedal_down(
+            delay_cycles=delay, duration_cycles=duration
+        )
+        fired = sum(trigger.observe(b) for b in bytes_seen)
+        assert fired <= duration
+        assert trigger.activations == fired
+
+    @given(bytes_seen=st.lists(st.integers(0, 255), min_size=1, max_size=300))
+    @settings(max_examples=200, deadline=None)
+    def test_never_fires_outside_trigger_values(self, bytes_seen):
+        trigger = PedalDownTrigger.for_pedal_down(single_burst=False)
+        for b in bytes_seen:
+            fired = trigger.observe(b)
+            if fired:
+                assert b in trigger.trigger_values

@@ -1,0 +1,88 @@
+"""Tests for repro.control.safety."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.control.safety import SafetyChecker, WatchdogGenerator
+
+
+class TestSafetyChecker:
+    def test_in_range_dac_passes(self, workspace):
+        checker = SafetyChecker(workspace=workspace)
+        assert checker.check_dac([1000, -2000, 0]).safe
+
+    def test_over_limit_dac_fails_with_reason(self, workspace):
+        checker = SafetyChecker(workspace=workspace)
+        decision = checker.check_dac([0, constants.DAC_SAFETY_LIMIT + 1, 0])
+        assert not decision.safe
+        assert "channel 1" in decision.reasons[0]
+
+    def test_limit_is_inclusive(self, workspace):
+        checker = SafetyChecker(workspace=workspace)
+        assert checker.check_dac([constants.DAC_SAFETY_LIMIT, 0, 0]).safe
+
+    def test_negative_over_limit_fails(self, workspace):
+        checker = SafetyChecker(workspace=workspace)
+        assert not checker.check_dac([-(constants.DAC_SAFETY_LIMIT + 1), 0, 0]).safe
+
+    def test_joint_targets_inside_pass(self, workspace):
+        checker = SafetyChecker(workspace=workspace)
+        assert checker.check_joint_targets(workspace.neutral()).safe
+
+    def test_joint_targets_outside_fail(self, workspace):
+        checker = SafetyChecker(workspace=workspace)
+        decision = checker.check_joint_targets(workspace.upper + 0.5)
+        assert not decision.safe
+
+    def test_combined_check_collects_all_reasons(self, workspace):
+        checker = SafetyChecker(workspace=workspace)
+        decision = checker.check([99999, 0, 0], workspace.upper + 1.0)
+        assert not decision.safe
+        assert len(decision.reasons) == 2
+
+    def test_decision_truthiness(self, workspace):
+        checker = SafetyChecker(workspace=workspace)
+        assert bool(checker.check([0, 0, 0], workspace.neutral()))
+
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(ValueError):
+            SafetyChecker(dac_limit=0)
+
+
+class TestWatchdogGenerator:
+    def test_toggles_at_half_period(self):
+        wd = WatchdogGenerator(half_period_cycles=4)
+        levels = [wd.tick() for _ in range(16)]
+        # Level changes every 4 cycles (on ticks 4, 8, 12, ...).
+        assert levels[0:3] == [levels[0]] * 3
+        assert levels[2] != levels[3]
+        assert levels[6] != levels[7]
+        assert levels[3:7] == [levels[3]] * 4
+
+    def test_square_wave_duty_cycle(self):
+        wd = WatchdogGenerator(half_period_cycles=8)
+        levels = np.array([wd.tick() for _ in range(160)])
+        assert abs(levels.mean() - 0.5) < 0.1
+
+    def test_trip_freezes_level(self):
+        wd = WatchdogGenerator(half_period_cycles=2)
+        for _ in range(3):
+            wd.tick()
+        level = wd.level
+        wd.trip()
+        assert wd.tripped
+        assert all(wd.tick() == level for _ in range(20))
+
+    def test_reset_rearms(self):
+        wd = WatchdogGenerator(half_period_cycles=1)
+        wd.trip()
+        wd.reset()
+        assert not wd.tripped
+        first = wd.tick()
+        second = wd.tick()
+        assert first != second  # toggling again
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            WatchdogGenerator(half_period_cycles=0)

@@ -1,0 +1,118 @@
+"""Tests for repro.kinematics.spherical_arm."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import InverseKinematicsError
+from repro.kinematics.spherical_arm import ArmGeometry, SphericalArm, _wrap_angle
+from tests.conftest import random_joint_vector
+
+
+class TestArmGeometry:
+    def test_defaults_match_raven(self):
+        g = ArmGeometry()
+        assert math.isclose(math.degrees(g.alpha1), 75.0)
+        assert math.isclose(math.degrees(g.alpha2), 52.0)
+
+    @pytest.mark.parametrize("alpha1", [0.0, math.pi, -0.1])
+    def test_invalid_alpha1_rejected(self, alpha1):
+        with pytest.raises(ValueError):
+            ArmGeometry(alpha1=alpha1)
+
+    def test_invalid_alpha2_rejected(self):
+        with pytest.raises(ValueError):
+            ArmGeometry(alpha2=4.0)
+
+
+class TestForwardKinematics:
+    def test_tool_axis_is_unit(self, arm, rng):
+        for _ in range(20):
+            u = arm.tool_axis(rng.uniform(-3, 3), rng.uniform(-3, 3))
+            assert math.isclose(np.linalg.norm(u), 1.0, abs_tol=1e-12)
+
+    def test_tool_axis_matches_matrix_product(self, arm):
+        from repro.kinematics.frames import rot_x, rot_z
+
+        g = arm.geometry
+        for q1, q2 in [(0.3, 1.1), (-0.8, 2.0), (1.0, 0.5)]:
+            expected = (
+                rot_z(q1) @ rot_x(g.alpha1) @ rot_z(q2) @ rot_x(g.alpha2)
+            ) @ np.array([0.0, 0.0, 1.0])
+            assert np.allclose(arm.tool_axis(q1, q2), expected, atol=1e-12)
+
+    def test_forward_depth_scales_position(self, arm):
+        q = np.array([0.2, 1.3, 0.1])
+        p1 = arm.forward(q)
+        q[2] = 0.2
+        p2 = arm.forward(q)
+        assert np.allclose(p2, 2.0 * p1, atol=1e-12)
+
+    def test_forward_respects_rcm_offset(self):
+        offset = np.array([1.0, -2.0, 0.5])
+        arm0 = SphericalArm()
+        arm1 = SphericalArm(ArmGeometry(rcm_position=offset))
+        q = np.array([0.4, 1.0, 0.15])
+        assert np.allclose(arm1.forward(q), arm0.forward(q) + offset)
+
+    def test_joint2_axis_tilted_by_alpha1(self, arm):
+        a2 = arm.joint2_axis(0.0)
+        angle = math.acos(a2 @ np.array([0, 0, 1.0]))
+        assert math.isclose(angle, arm.geometry.alpha1, abs_tol=1e-12)
+
+
+class TestInverseKinematics:
+    def test_roundtrip_random(self, arm, rng):
+        for _ in range(100):
+            q = random_joint_vector(rng)
+            p = arm.forward(q)
+            q_back = arm.inverse(p, reference=q)
+            assert np.allclose(q, q_back, atol=1e-8), (q, q_back)
+
+    def test_solution_reaches_target(self, arm, rng):
+        for _ in range(50):
+            q = random_joint_vector(rng)
+            p = arm.forward(q)
+            sol = arm.inverse(p)
+            assert np.allclose(arm.forward(sol), p, atol=1e-9)
+
+    def test_rcm_position_rejected(self, arm):
+        with pytest.raises(InverseKinematicsError):
+            arm.inverse(np.zeros(3))
+
+    def test_outside_cone_rejected(self, arm):
+        # The base axis itself is unreachable (cone angle range excludes 0).
+        with pytest.raises(InverseKinematicsError):
+            arm.inverse(np.array([0.0, 0.0, 0.15]))
+
+    def test_reference_selects_nearest_branch(self, arm):
+        q = np.array([0.5, 1.2, 0.15])
+        p = arm.forward(q)
+        near = arm.inverse(p, reference=q)
+        assert np.allclose(near, q, atol=1e-8)
+
+    def test_reachable_predicate(self, arm, rng):
+        q = random_joint_vector(rng)
+        assert arm.reachable(arm.forward(q))
+        assert not arm.reachable(np.array([0.0, 0.0, 0.2]))
+
+    def test_cone_angle_range(self, arm):
+        lo, hi = arm.cone_angle_range()
+        assert math.isclose(math.degrees(lo), 23.0, abs_tol=1e-9)
+        assert math.isclose(math.degrees(hi), 127.0, abs_tol=1e-9)
+
+    def test_depth_recovered(self, arm):
+        q = np.array([-0.3, 1.5, 0.22])
+        sol = arm.inverse(arm.forward(q), reference=q)
+        assert math.isclose(sol[2], 0.22, abs_tol=1e-12)
+
+
+class TestWrapAngle:
+    @pytest.mark.parametrize(
+        "angle,expected",
+        [(0.0, 0.0), (math.pi, math.pi), (-math.pi, math.pi),
+         (3 * math.pi, math.pi), (2 * math.pi, 0.0), (-0.5, -0.5)],
+    )
+    def test_wrap(self, angle, expected):
+        assert math.isclose(_wrap_angle(angle), expected, abs_tol=1e-12)

@@ -1,0 +1,95 @@
+"""Tests for repro.control.state_machine."""
+
+import pytest
+
+from repro import constants
+from repro.control.state_machine import OperationalStateMachine, RobotState
+from repro.errors import StateMachineError
+
+
+class TestRobotState:
+    def test_byte_values_match_constants(self):
+        assert RobotState.E_STOP.byte_value == constants.STATE_BYTE_ESTOP
+        assert RobotState.PEDAL_DOWN.byte_value == constants.STATE_BYTE_PEDAL_DOWN
+
+    def test_from_byte_ignores_watchdog_bit(self):
+        wd = 1 << constants.USB_WATCHDOG_BIT
+        assert RobotState.from_byte(0x0F) is RobotState.PEDAL_DOWN
+        assert RobotState.from_byte(0x0F | wd) is RobotState.PEDAL_DOWN
+
+    def test_from_byte_invalid(self):
+        with pytest.raises(StateMachineError):
+            RobotState.from_byte(0x05)
+
+    def test_all_states_roundtrip(self):
+        for state in RobotState:
+            assert RobotState.from_byte(state.byte_value) is state
+
+
+class TestTransitions:
+    def test_nominal_session(self):
+        sm = OperationalStateMachine()
+        sm.press_start(1.0)
+        assert sm.state is RobotState.INIT
+        sm.initialization_done(2.0)
+        assert sm.state is RobotState.PEDAL_UP
+        sm.set_pedal(True, 3.0)
+        assert sm.state is RobotState.PEDAL_DOWN
+        assert sm.engaged
+        sm.set_pedal(False, 4.0)
+        assert sm.state is RobotState.PEDAL_UP
+
+    def test_start_only_from_estop(self):
+        sm = OperationalStateMachine()
+        sm.press_start()
+        with pytest.raises(StateMachineError):
+            sm.press_start()
+
+    def test_init_done_only_from_init(self):
+        sm = OperationalStateMachine()
+        with pytest.raises(StateMachineError):
+            sm.initialization_done()
+
+    def test_pedal_ignored_when_not_ready(self):
+        sm = OperationalStateMachine()
+        sm.set_pedal(True)
+        assert sm.state is RobotState.E_STOP
+        sm.press_start()
+        sm.set_pedal(True)
+        assert sm.state is RobotState.INIT
+
+    def test_emergency_stop_from_any_state(self):
+        sm = OperationalStateMachine()
+        sm.press_start()
+        sm.initialization_done()
+        sm.set_pedal(True)
+        sm.emergency_stop(reason="test")
+        assert sm.state is RobotState.E_STOP
+        assert sm.last_estop_reason == "test"
+
+    def test_can_transition(self):
+        sm = OperationalStateMachine()
+        assert sm.can_transition(RobotState.INIT)
+        assert not sm.can_transition(RobotState.PEDAL_DOWN)
+        assert sm.can_transition(RobotState.E_STOP)
+
+    def test_history_records_transitions(self):
+        sm = OperationalStateMachine()
+        sm.press_start(0.5)
+        sm.initialization_done(1.5)
+        states = [s for _t, s in sm.history]
+        assert states == [RobotState.E_STOP, RobotState.INIT, RobotState.PEDAL_UP]
+
+    def test_listener_called_with_old_and_new(self):
+        sm = OperationalStateMachine()
+        seen = []
+        sm.add_listener(lambda old, new: seen.append((old, new)))
+        sm.press_start()
+        assert seen == [(RobotState.E_STOP, RobotState.INIT)]
+
+    def test_same_state_no_event(self):
+        sm = OperationalStateMachine()
+        seen = []
+        sm.add_listener(lambda old, new: seen.append((old, new)))
+        sm.emergency_stop()  # already in E-STOP
+        assert seen == []

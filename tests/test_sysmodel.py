@@ -1,0 +1,210 @@
+"""Tests for repro.sysmodel: processes, syscalls, dynamic linking."""
+
+import pytest
+
+from repro.errors import LinkerError, SyscallError
+from repro.sysmodel.linker import DynamicLinker, SharedLibrary, SystemEnvironment
+from repro.sysmodel.process import Process
+
+
+class Sink:
+    """Minimal DeviceFile for tests."""
+
+    def __init__(self):
+        self.written = []
+
+    def fd_write(self, data: bytes) -> int:
+        self.written.append(bytes(data))
+        return len(data)
+
+    def fd_read(self, max_bytes: int) -> bytes:
+        return b"R" * min(max_bytes, 4)
+
+
+class Socket(Sink):
+    def __init__(self, payloads=()):
+        super().__init__()
+        self.payloads = list(payloads)
+
+    def fd_recvfrom(self, max_bytes: int):
+        return self.payloads.pop(0) if self.payloads else None
+
+
+class TestProcess:
+    def test_write_read_through_fd(self):
+        p = Process("test")
+        sink = Sink()
+        fd = p.open_device(sink)
+        assert p.write(fd, b"abc") == 3
+        assert sink.written == [b"abc"]
+        assert p.read(fd, 2) == b"RR"
+
+    def test_bad_fd_raises(self):
+        p = Process("test")
+        with pytest.raises(SyscallError):
+            p.write(99, b"x")
+
+    def test_close_removes_fd(self):
+        p = Process("test")
+        fd = p.open_device(Sink())
+        p.close(fd)
+        with pytest.raises(SyscallError):
+            p.read(fd, 1)
+
+    def test_close_unknown_fd_raises(self):
+        with pytest.raises(SyscallError):
+            Process("test").close(3)
+
+    def test_fds_start_at_3(self):
+        p = Process("test")
+        assert p.open_device(Sink()) == 3
+        assert p.open_device(Sink()) == 4
+
+    def test_unique_pids(self):
+        assert Process("a").pid != Process("b").pid
+
+    def test_write_requires_bytes(self):
+        p = Process("test")
+        fd = p.open_device(Sink())
+        with pytest.raises(SyscallError):
+            p.write(fd, "not-bytes")
+
+    def test_recvfrom_on_socket(self):
+        p = Process("test")
+        fd = p.open_device(Socket([b"datagram"]))
+        assert p.recvfrom(fd, 100) == b"datagram"
+        assert p.recvfrom(fd, 100) is None
+
+    def test_recvfrom_on_non_socket_raises(self):
+        p = Process("test")
+        fd = p.open_device(Sink())
+        with pytest.raises(SyscallError):
+            p.recvfrom(fd, 10)
+
+
+def make_tagging_library(name, tag):
+    """A library whose write wrapper prepends ``tag`` to the data."""
+    lib = SharedLibrary(name)
+
+    def factory(next_write, _process):
+        def wrapper(fd, data):
+            return next_write(fd, tag + data)
+
+        return wrapper
+
+    lib.export("write", factory)
+    return lib
+
+
+class TestSharedLibrary:
+    def test_unknown_symbol_rejected(self):
+        lib = SharedLibrary("lib.so")
+        with pytest.raises(LinkerError):
+            lib.export("open", lambda n, p: n)
+
+    def test_exports_copy(self):
+        lib = make_tagging_library("lib.so", b"x")
+        exports = lib.exports()
+        exports.clear()
+        assert lib.exports()  # original untouched
+
+    def test_repr_lists_exports(self):
+        lib = make_tagging_library("lib.so", b"x")
+        assert "write" in repr(lib)
+
+
+class TestDynamicLinker:
+    def test_preload_wraps_write(self):
+        env = SystemEnvironment()
+        env.set_user_preload("surgeon", make_tagging_library("a.so", b"A"))
+        p = DynamicLinker(env).spawn("victim", user="surgeon")
+        sink = Sink()
+        fd = p.open_device(sink)
+        p.write(fd, b"data")
+        assert sink.written == [b"Adata"]
+
+    def test_preload_order_first_library_runs_first(self):
+        env = SystemEnvironment()
+        env.set_user_preload("surgeon", make_tagging_library("a.so", b"A"))
+        env.set_user_preload("surgeon", make_tagging_library("b.so", b"B"))
+        p = DynamicLinker(env).spawn("victim", user="surgeon")
+        sink = Sink()
+        fd = p.open_device(sink)
+        p.write(fd, b"!")
+        # A is first in LD_PRELOAD: its wrapper runs first, so B (next in
+        # chain) sees A's output: final = B? No: A wraps B wraps real.
+        assert sink.written == [b"BA!"]
+
+    def test_system_preload_precedes_user(self):
+        env = SystemEnvironment()
+        env.set_user_preload("surgeon", make_tagging_library("u.so", b"U"))
+        env.add_system_preload(make_tagging_library("s.so", b"S"))
+        p = DynamicLinker(env).spawn("victim", user="surgeon")
+        sink = Sink()
+        fd = p.open_device(sink)
+        p.write(fd, b"!")
+        # System library runs first -> its tag is applied first, so the
+        # user library (deeper in the chain) prepends afterwards.
+        assert sink.written == [b"US!"]
+
+    def test_other_users_unaffected_by_user_preload(self):
+        env = SystemEnvironment()
+        env.set_user_preload("surgeon", make_tagging_library("a.so", b"A"))
+        p = DynamicLinker(env).spawn("victim", user="admin")
+        sink = Sink()
+        fd = p.open_device(sink)
+        p.write(fd, b"data")
+        assert sink.written == [b"data"]
+
+    def test_system_preload_affects_all_users(self):
+        env = SystemEnvironment()
+        env.add_system_preload(make_tagging_library("s.so", b"S"))
+        p = DynamicLinker(env).spawn("victim", user="anyone")
+        sink = Sink()
+        fd = p.open_device(sink)
+        p.write(fd, b"!")
+        assert sink.written == [b"S!"]
+
+    def test_existing_process_unaffected_until_relink(self):
+        env = SystemEnvironment()
+        linker = DynamicLinker(env)
+        p = linker.spawn("victim", user="surgeon")
+        sink = Sink()
+        fd = p.open_device(sink)
+        # Malware lands *after* the process started.
+        env.set_user_preload("surgeon", make_tagging_library("a.so", b"A"))
+        p.write(fd, b"1")
+        assert sink.written == [b"1"]  # still clean
+        p.relink(linker)  # "new terminal" / process restart
+        p.write(fd, b"2")
+        assert sink.written == [b"1", b"A2"]
+
+    def test_clear_user_preload(self):
+        env = SystemEnvironment()
+        env.set_user_preload("surgeon", make_tagging_library("a.so", b"A"))
+        env.clear_user_preload("surgeon")
+        assert env.preload_list("surgeon") == []
+
+    def test_clear_system_preload(self):
+        env = SystemEnvironment()
+        env.add_system_preload(make_tagging_library("s.so", b"S"))
+        env.clear_system_preload()
+        assert env.preload_list(None) == []
+
+    def test_wrapper_can_suppress_call(self):
+        lib = SharedLibrary("drop.so")
+
+        def factory(next_write, _process):
+            def wrapper(fd, data):
+                return len(data)  # never calls the original
+
+            return wrapper
+
+        lib.export("write", factory)
+        env = SystemEnvironment()
+        env.set_user_preload("surgeon", lib)
+        p = DynamicLinker(env).spawn("victim", user="surgeon")
+        sink = Sink()
+        fd = p.open_device(sink)
+        assert p.write(fd, b"gone") == 4
+        assert sink.written == []

@@ -1,0 +1,153 @@
+"""Tests for repro.sim.trace."""
+
+import numpy as np
+import pytest
+
+from repro.control.state_machine import RobotState
+from repro.sim.trace import RunTrace
+
+
+def fill_trace(trace, positions, state=RobotState.PEDAL_DOWN):
+    for k, pos in enumerate(positions):
+        trace.record(
+            time=k * trace.dt,
+            state=state,
+            tip_pos=np.asarray(pos, dtype=float),
+            pos_d=np.zeros(3),
+            jpos=np.zeros(3),
+            jvel=np.zeros(3),
+            mpos=np.zeros(3),
+            dac=np.zeros(3),
+        )
+
+
+class TestRecording:
+    def test_length(self):
+        trace = RunTrace()
+        fill_trace(trace, [[0, 0, 0]] * 10)
+        assert len(trace) == 10
+
+    def test_array_views(self):
+        trace = RunTrace()
+        fill_trace(trace, [[1, 2, 3], [4, 5, 6]])
+        assert trace.tip_array.shape == (2, 3)
+        assert trace.time_array.shape == (2,)
+        assert np.allclose(trace.tip_array[1], [4, 5, 6])
+
+    def test_empty_arrays(self):
+        trace = RunTrace()
+        assert trace.tip_array.shape == (0, 3)
+        assert trace.max_jump() == 0.0
+
+
+class TestJumpAnalysis:
+    def test_still_robot_no_jump(self):
+        trace = RunTrace()
+        fill_trace(trace, [[0.1, 0.0, 0.0]] * 100)
+        assert trace.max_jump() == 0.0
+        assert not trace.adverse_impact()
+
+    def test_slow_drift_within_window_not_a_jump(self):
+        trace = RunTrace()
+        # 10 um per 1 ms tick = 10 mm/s; 2 ms window sees only 20 um.
+        positions = [[k * 1e-5, 0, 0] for k in range(300)]
+        fill_trace(trace, positions)
+        assert trace.max_jump(window_s=2e-3) == pytest.approx(2e-5, rel=0.01)
+        assert not trace.adverse_impact()
+
+    def test_step_jump_detected(self):
+        trace = RunTrace()
+        positions = [[0, 0, 0]] * 50 + [[2e-3, 0, 0]] * 50  # 2 mm step
+        fill_trace(trace, positions)
+        assert trace.max_jump() == pytest.approx(2e-3)
+        assert trace.adverse_impact()
+
+    def test_window_scales_detection(self):
+        trace = RunTrace()
+        # 0.3 mm per tick for 5 ticks = 1.5 mm over 5 ms.
+        positions = [[0, 0, 0]] * 20 + [
+            [min(5, k) * 3e-4, 0, 0] for k in range(1, 30)
+        ]
+        fill_trace(trace, positions)
+        assert trace.max_jump(window_s=2e-3) < 1e-3
+        assert trace.max_jump(window_s=10e-3) > 1e-3
+
+    def test_max_deviation_from(self):
+        a = RunTrace()
+        b = RunTrace()
+        fill_trace(a, [[0, 0, 0]] * 10)
+        fill_trace(b, [[0, 0, 0]] * 5 + [[0, 5e-3, 0]] * 5)
+        assert a.max_deviation_from(b) == pytest.approx(5e-3)
+
+    def test_max_deviation_truncates_to_shorter(self):
+        a = RunTrace()
+        b = RunTrace()
+        fill_trace(a, [[0, 0, 0]] * 3)
+        fill_trace(b, [[0, 0, 0]] * 3 + [[1, 1, 1]] * 5)
+        assert a.max_deviation_from(b) == 0.0
+
+
+class TestBookkeeping:
+    def test_estop_reasons(self):
+        trace = RunTrace()
+        trace.estop_events.append((0.5, "watchdog signal lost"))
+        assert trace.estop_occurred()
+        assert trace.estop_reasons == ["watchdog signal lost"]
+
+    def test_pedal_down_fraction(self):
+        trace = RunTrace()
+        fill_trace(trace, [[0, 0, 0]] * 3, state=RobotState.PEDAL_UP)
+        fill_trace(trace, [[0, 0, 0]] * 7, state=RobotState.PEDAL_DOWN)
+        assert trace.pedal_down_fraction() == pytest.approx(0.7)
+
+    def test_summary_keys(self):
+        trace = RunTrace()
+        fill_trace(trace, [[0, 0, 0]] * 5)
+        summary = trace.summary()
+        for key in ("cycles", "max_jump_mm", "adverse_impact", "estop",
+                    "attack_fired", "detector_alerts"):
+            assert key in summary
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = RunTrace()
+        fill_trace(trace, [[k * 1e-4, 0, -0.1] for k in range(20)])
+        trace.estop_events.append((0.005, "test reason"))
+        trace.safety_trip_cycles.append(5)
+        trace.detector_alert_cycles.extend([7, 9])
+        trace.attack_first_cycle = 6
+        trace.attack_activations = 3
+        trace.seed = 42
+        trace.label = "circle"
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = RunTrace.load(path)
+        assert len(loaded) == len(trace)
+        assert np.allclose(loaded.tip_array, trace.tip_array)
+        assert loaded.states == trace.states
+        assert loaded.estop_events == trace.estop_events
+        assert loaded.safety_trip_cycles == [5]
+        assert loaded.detector_alert_cycles == [7, 9]
+        assert loaded.attack_first_cycle == 6
+        assert loaded.seed == 42
+        assert loaded.label == "circle"
+
+    def test_metrics_survive_roundtrip(self, tmp_path):
+        trace = RunTrace()
+        positions = [[0, 0, 0]] * 30 + [[2e-3, 0, 0]] * 30
+        fill_trace(trace, positions)
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = RunTrace.load(path)
+        assert loaded.max_jump() == pytest.approx(trace.max_jump())
+        assert loaded.adverse_impact() == trace.adverse_impact()
+
+    def test_none_fields_roundtrip(self, tmp_path):
+        trace = RunTrace()
+        fill_trace(trace, [[0, 0, 0]] * 5)
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = RunTrace.load(path)
+        assert loaded.attack_first_cycle is None
+        assert loaded.seed is None

@@ -1,0 +1,129 @@
+"""Tests for repro.control.trajectory."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.control.trajectory import (
+    CircleTrajectory,
+    Figure8Trajectory,
+    IdleTrajectory,
+    SuturingTrajectory,
+    TrajectoryLibrary,
+    TremorModel,
+)
+
+
+@pytest.fixture
+def library():
+    return TrajectoryLibrary()
+
+
+class TestTremorModel:
+    def test_zero_amplitude_is_silent(self, rng):
+        tremor = TremorModel(rng, amplitude_m=0.0)
+        assert np.allclose(tremor.sample(1e-3), 0.0)
+
+    def test_rms_near_amplitude(self, rng):
+        tremor = TremorModel(rng, amplitude_m=3e-5)
+        samples = np.array([tremor.sample(1e-3) for _ in range(5000)])
+        rms = np.sqrt((samples**2).mean())
+        assert 0.2 * 3e-5 < rms < 5 * 3e-5
+
+    def test_band_limited(self, rng):
+        # The dominant frequency should be near the tremor band, not DC.
+        tremor = TremorModel(rng, amplitude_m=1e-4, frequency_hz=9.0)
+        xs = np.array([tremor.sample(1e-3)[0] for _ in range(4000)])
+        spectrum = np.abs(np.fft.rfft(xs - xs.mean()))
+        freqs = np.fft.rfftfreq(len(xs), 1e-3)
+        peak = freqs[np.argmax(spectrum)]
+        assert 4.0 < peak < 16.0
+
+    def test_negative_amplitude_rejected(self, rng):
+        with pytest.raises(ValueError):
+            TremorModel(rng, amplitude_m=-1.0)
+
+
+class TestTrajectoryFamilies:
+    def test_idle_stays_at_center(self, library):
+        traj = IdleTrajectory(library.center)
+        assert np.allclose(traj.position(5.0), library.center)
+
+    def test_circle_returns_after_period(self, library):
+        traj = CircleTrajectory(library.center, radius=0.01, period=2.0)
+        # After the start envelope, positions repeat with the period.
+        p1 = traj.position(3.0)
+        p2 = traj.position(5.0)
+        assert np.allclose(p1, p2, atol=1e-12)
+
+    def test_circle_radius_bounds_offset(self, library):
+        traj = CircleTrajectory(library.center, radius=0.01, period=2.0, tilt=0.3)
+        for t in np.linspace(0, 10, 200):
+            assert np.linalg.norm(traj.offset(t)) <= 2 * 0.01 + 1e-9
+
+    def test_smooth_start_no_velocity_step(self, library):
+        traj = CircleTrajectory(library.center, radius=0.02, period=4.0)
+        d0 = np.linalg.norm(traj.position(1e-3) - traj.position(0.0))
+        assert d0 < 1e-5  # envelope suppresses the initial jump
+
+    def test_figure8_bounded(self, library):
+        traj = Figure8Trajectory(library.center, width=0.02, height=0.01)
+        for t in np.linspace(0, 12, 300):
+            off = traj.offset(t)
+            assert abs(off[0]) <= 0.02 + 1e-9
+            assert abs(off[1]) <= 0.01 + 1e-9
+
+    def test_suturing_advances(self, library):
+        traj = SuturingTrajectory(library.center, advance_speed=0.002)
+        assert traj.offset(10.0)[1] > traj.offset(2.0)[1]
+
+    def test_invalid_parameters_rejected(self, library):
+        with pytest.raises(ValueError):
+            CircleTrajectory(library.center, radius=-0.01)
+        with pytest.raises(ValueError):
+            Figure8Trajectory(library.center, width=0.0)
+        with pytest.raises(ValueError):
+            SuturingTrajectory(library.center, loop_period=0.0)
+
+    def test_increments_sum_to_displacement(self, library, rng):
+        traj = library.make("circle", rng=rng, tremor_amplitude=0.0)
+        start = traj.position(0.0)
+        increments = list(traj.increments(1.0))
+        end = traj.position(1.0)
+        assert np.allclose(start + np.sum(increments, axis=0), end, atol=1e-9)
+
+    def test_increments_respect_itp_limit(self, library, rng):
+        traj = library.sample(rng)
+        for dpos in traj.increments(2.0):
+            assert np.all(np.abs(dpos) <= constants.ITP_MAX_INCREMENT_M)
+
+
+class TestTrajectoryLibrary:
+    def test_names(self, library):
+        assert set(library.names()) == {"idle", "circle", "figure8", "suturing"}
+
+    def test_make_each_family(self, library, rng):
+        for name in library.names():
+            traj = library.make(name, rng=rng)
+            assert traj.name == name
+
+    def test_make_unknown_raises(self, library):
+        with pytest.raises(KeyError):
+            library.make("spiral")
+
+    def test_center_is_reachable(self, library):
+        assert library.arm.reachable(library.center)
+
+    def test_sample_is_deterministic_per_seed(self, library):
+        t1 = library.sample(np.random.default_rng(5))
+        t2 = library.sample(np.random.default_rng(5))
+        assert t1.name == t2.name
+        assert np.allclose(t1.offset(1.2), t2.offset(1.2))
+
+    def test_sample_varies_across_seeds(self, library):
+        names = {library.sample(np.random.default_rng(s)).name for s in range(12)}
+        assert len(names) > 1
+
+    def test_paper_pair(self, library, rng):
+        pair = library.paper_pair(rng)
+        assert set(pair) == {"circle", "suturing"}

@@ -1,0 +1,80 @@
+"""Tests for repro.dynamics.transmission."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics.transmission import DEFAULT_GEAR_RATIOS, Transmission
+from repro.errors import DynamicsError
+
+
+class TestConstruction:
+    def test_default_ratios_on_diagonal(self):
+        t = Transmission()
+        g = t.joint_to_motor
+        assert np.allclose(np.diag(g), DEFAULT_GEAR_RATIOS)
+
+    def test_coupling_below_diagonal(self):
+        t = Transmission(coupling=0.05)
+        g = t.joint_to_motor
+        assert g[1, 0] == pytest.approx(0.05 * DEFAULT_GEAR_RATIOS[1])
+        assert g[2, 1] == pytest.approx(0.05 * DEFAULT_GEAR_RATIOS[2])
+        assert g[0, 1] == 0.0
+
+    def test_zero_coupling_is_diagonal(self):
+        t = Transmission(coupling=0.0)
+        g = t.joint_to_motor
+        assert np.allclose(g, np.diag(np.diag(g)))
+
+    def test_negative_ratio_rejected(self):
+        with pytest.raises(DynamicsError):
+            Transmission(gear_ratios=(1.0, -2.0, 3.0))
+
+    def test_singular_matrix_rejected(self):
+        with pytest.raises(DynamicsError):
+            Transmission(matrix=np.zeros((3, 3)))
+
+    def test_non_square_matrix_rejected(self):
+        with pytest.raises(DynamicsError):
+            Transmission(matrix=np.ones((2, 3)))
+
+
+class TestMappings:
+    def test_position_roundtrip(self, rng):
+        t = Transmission()
+        jpos = rng.standard_normal(3)
+        assert np.allclose(t.joint_positions(t.motor_positions(jpos)), jpos)
+
+    def test_velocity_uses_same_matrix(self, rng):
+        t = Transmission()
+        jvel = rng.standard_normal(3)
+        assert np.allclose(t.motor_velocities(jvel), t.motor_positions(jvel))
+
+    def test_torque_power_conservation(self, rng):
+        # tau_j . jdot == tau_m . mdot for any motion (rigid transmission).
+        t = Transmission()
+        tau_m = rng.standard_normal(3)
+        jdot = rng.standard_normal(3)
+        power_motor = tau_m @ t.motor_velocities(jdot)
+        power_joint = t.joint_torques(tau_m) @ jdot
+        assert power_joint == pytest.approx(power_motor)
+
+    def test_reflected_inertia_symmetric_psd(self):
+        t = Transmission()
+        m = t.reflected_inertia([1e-5, 1e-5, 3e-6])
+        assert np.allclose(m, m.T)
+        assert np.all(np.linalg.eigvalsh(m) > 0)
+
+    def test_reflected_inertia_scales_with_square_of_ratio(self):
+        t1 = Transmission(gear_ratios=(10.0, 10.0, 10.0), coupling=0.0)
+        t2 = Transmission(gear_ratios=(20.0, 20.0, 20.0), coupling=0.0)
+        m1 = t1.reflected_inertia([1e-5] * 3)
+        m2 = t2.reflected_inertia([1e-5] * 3)
+        assert np.allclose(m2, 4.0 * m1)
+
+    def test_reflected_damping_diagonal_without_coupling(self):
+        t = Transmission(coupling=0.0)
+        b = t.reflected_damping([1e-6] * 3)
+        assert np.allclose(b, np.diag(np.diag(b)))
+
+    def test_num_axes(self):
+        assert Transmission().num_axes == 3

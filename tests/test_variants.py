@@ -1,0 +1,101 @@
+"""Tests for repro.attacks.variants (Table I attack variants)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.malware import PedalDownTrigger
+from repro.attacks.variants import (
+    DriftedTrigArm,
+    build_encoder_corruption_library,
+    build_plc_state_corruption_library,
+    build_socket_drop_library,
+    build_socket_hijack_library,
+    install_math_drift,
+)
+from repro.control.state_machine import RobotState
+from repro.errors import InverseKinematicsError
+from repro.sim.rig import RigConfig, SurgicalRig
+from repro.sim.runner import run_fault_free
+
+DURATION = 1.1
+
+
+def short_config(seed=21):
+    return RigConfig(seed=seed, duration_s=DURATION, trajectory_name="circle")
+
+
+class TestSocketVariants:
+    def test_port_change_blocks_teleoperation(self):
+        rig = SurgicalRig(
+            short_config(), preload_libraries=[build_socket_drop_library()]
+        )
+        trace = rig.run()
+        assert trace.pedal_down_fraction() == 0.0
+
+    def test_hijack_replaces_motion(self):
+        reference = run_fault_free(seed=21, duration_s=DURATION)
+        trigger = PedalDownTrigger.for_pedal_down(
+            delay_cycles=150, duration_cycles=300
+        )
+        library = build_socket_hijack_library(
+            trigger, hijack_dpos_m=np.array([1e-4, 0.0, 0.0])
+        )
+        rig = SurgicalRig(short_config(), preload_libraries=[library])
+        trace = rig.run()
+        assert trace.max_deviation_from(reference) > 1e-3
+
+
+class TestMathDrift:
+    def test_drifted_arm_forward_skews(self):
+        clean = DriftedTrigArm(drift_per_call=0.0)
+        drifted = DriftedTrigArm(drift_per_call=1e-3)
+        q = np.array([0.2, 1.5, 0.15])
+        p0 = clean.forward(q)
+        for _ in range(100):
+            drifted.forward(q)
+        assert np.linalg.norm(drifted.forward(q) - p0) > 1e-4
+
+    def test_ik_consistency_check_eventually_fails(self):
+        arm = DriftedTrigArm(drift_per_call=5e-5)
+        q = np.array([0.2, 1.5, 0.15])
+        target = arm.forward(q)
+        with pytest.raises(InverseKinematicsError):
+            for _ in range(2000):
+                arm.inverse(target, reference=q)
+
+    def test_install_math_drift_swaps_controller_arm(self):
+        rig = SurgicalRig(short_config())
+        drifted = install_math_drift(rig, drift_per_call=1e-6)
+        assert rig.controller.arm is drifted
+        # The physical plant's kinematics stay untouched.
+        assert rig.arm is not drifted
+
+    def test_drift_causes_ik_failure_estop(self):
+        rig = SurgicalRig(short_config())
+        install_math_drift(rig, drift_per_call=5e-6)
+        trace = rig.run()
+        assert any("IK" in r for r in trace.estop_reasons)
+
+
+class TestPlcStateCorruption:
+    def test_homing_never_completes(self):
+        rig = SurgicalRig(
+            short_config(),
+            preload_libraries=[build_plc_state_corruption_library()],
+        )
+        trace = rig.run()
+        assert trace.pedal_down_fraction() == 0.0
+        # The software stays stuck in INIT: no Pedal Up packets observed.
+        assert RobotState.PEDAL_UP not in trace.states
+
+
+class TestEncoderCorruption:
+    def test_phantom_error_moves_real_arm(self):
+        reference = run_fault_free(seed=21, duration_s=DURATION)
+        trigger = PedalDownTrigger.for_pedal_down(
+            delay_cycles=150, duration_cycles=200
+        )
+        library = build_encoder_corruption_library(trigger, offset_counts=4000)
+        rig = SurgicalRig(short_config(), preload_libraries=[library])
+        trace = rig.run()
+        assert trace.max_deviation_from(reference) > 1e-3

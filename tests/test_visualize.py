@@ -1,0 +1,83 @@
+"""Tests for repro.sim.visualize (the graphic-simulator stand-in)."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.control.state_machine import RobotState
+from repro.sim.trace import RunTrace
+from repro.sim.visualize import render_svg, save_svg
+
+
+def make_trace(n=100, attack_at=None, alerts=(), estops=()):
+    trace = RunTrace()
+    for k in range(n):
+        angle = 2 * np.pi * k / n
+        trace.record(
+            time=k * trace.dt,
+            state=RobotState.PEDAL_DOWN,
+            tip_pos=np.array([0.01 * np.cos(angle), 0.01 * np.sin(angle), -0.1]),
+            pos_d=np.array([0.011 * np.cos(angle), 0.011 * np.sin(angle), -0.1]),
+            jpos=np.zeros(3),
+            jvel=np.zeros(3),
+            mpos=np.zeros(3),
+            dac=np.zeros(3),
+        )
+    trace.attack_first_cycle = attack_at
+    trace.detector_alert_cycles = list(alerts)
+    for when, reason in estops:
+        trace.estop_events.append((when, reason))
+    return trace
+
+
+class TestRenderSvg:
+    def test_valid_xml(self):
+        svg = render_svg(make_trace())
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_three_projections(self):
+        svg = render_svg(make_trace())
+        assert svg.count("<rect") >= 3
+        assert "top (x-y)" in svg and "front (x-z)" in svg and "side (y-z)" in svg
+
+    def test_actual_and_desired_paths_drawn(self):
+        svg = render_svg(make_trace())
+        assert svg.count("<polyline") >= 6  # 2 paths x 3 panels
+
+    def test_reference_adds_polylines(self):
+        base = render_svg(make_trace())
+        with_ref = render_svg(make_trace(), reference=make_trace())
+        assert with_ref.count("<polyline") > base.count("<polyline")
+
+    def test_event_markers(self):
+        trace = make_trace(attack_at=10, alerts=[12], estops=[(0.02, "test")])
+        svg = render_svg(trace)
+        assert "<title>attack start</title>" in svg
+        assert "<title>detector alert</title>" in svg
+        assert "E-STOP: test" in svg
+
+    def test_negative_alert_cycles_skipped(self):
+        svg = render_svg(make_trace(alerts=[-1]))
+        # Legend text remains, but no alert marker is drawn.
+        assert "<title>detector alert</title>" not in svg
+
+    def test_too_short_trace_rejected(self):
+        with pytest.raises(ValueError):
+            render_svg(make_trace(n=1))
+
+    def test_span_reported_in_mm(self):
+        svg = render_svg(make_trace())
+        assert "span 2" in svg  # ~20 mm circle diameter
+
+
+class TestSaveSvg:
+    def test_writes_file(self, tmp_path):
+        out = save_svg(make_trace(), tmp_path / "run.svg")
+        assert out.exists()
+        assert out.read_text().startswith("<svg")
+
+    def test_title_embedded(self, tmp_path):
+        out = save_svg(make_trace(), tmp_path / "t.svg", title="my run")
+        assert "my run" in out.read_text()

@@ -1,0 +1,62 @@
+"""Tests for repro.kinematics.workspace."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.errors import WorkspaceError
+from repro.kinematics.workspace import Workspace
+
+
+class TestWorkspace:
+    def test_neutral_is_inside(self, workspace):
+        assert workspace.contains(workspace.neutral())
+
+    def test_neutral_uses_configured_depth(self, workspace):
+        assert workspace.neutral()[2] == constants.JOINT3_NEUTRAL_M
+
+    def test_contains_boundaries(self, workspace):
+        assert workspace.contains(workspace.lower)
+        assert workspace.contains(workspace.upper)
+
+    def test_contains_with_margin_excludes_boundary(self, workspace):
+        assert not workspace.contains(workspace.lower, margin=0.01)
+
+    def test_outside_detected(self, workspace):
+        q = workspace.upper + np.array([0.1, 0.0, 0.0])
+        assert not workspace.contains(q)
+
+    def test_clamp_projects_onto_box(self, workspace):
+        q = workspace.upper + np.array([0.5, 1.0, 0.2])
+        clamped = workspace.clamp(q)
+        assert np.allclose(clamped, workspace.upper)
+        assert workspace.contains(clamped)
+
+    def test_clamp_identity_inside(self, workspace):
+        q = workspace.neutral()
+        assert np.allclose(workspace.clamp(q), q)
+
+    def test_require_raises_outside(self, workspace):
+        with pytest.raises(WorkspaceError):
+            workspace.require(workspace.upper + 1.0)
+
+    def test_require_passes_inside(self, workspace):
+        workspace.require(workspace.neutral())
+
+    def test_violation_zero_inside(self, workspace):
+        assert np.all(workspace.violation(workspace.neutral()) == 0.0)
+
+    def test_violation_measures_distance(self, workspace):
+        q = workspace.upper.copy()
+        q[1] += 0.25
+        v = workspace.violation(q)
+        assert np.isclose(v[1], 0.25)
+        assert v[0] == 0.0 and v[2] == 0.0
+
+    def test_invalid_limits_rejected(self):
+        with pytest.raises(ValueError):
+            Workspace(joint1_limits=(1.0, -1.0))
+
+    def test_custom_limits_respected(self):
+        ws = Workspace(joint3_limits=(0.01, 0.02))
+        assert not ws.contains([0.0, 1.5, 0.05])

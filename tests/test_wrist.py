@@ -1,0 +1,53 @@
+"""Tests for repro.kinematics.wrist."""
+
+import math
+
+import numpy as np
+
+from repro.kinematics.wrist import (
+    WristKinematics,
+    euler_zyx_to_quat,
+    wrist_pose_tuple,
+)
+
+
+class TestTargetsFromQuaternion:
+    def test_identity_orientation_zero_targets(self):
+        wrist = WristKinematics()
+        targets = wrist.targets_from_quaternion(np.array([1.0, 0, 0, 0]))
+        assert np.allclose(targets, 0.0, atol=1e-12)
+
+    def test_roll_pitch_yaw_recovered(self):
+        wrist = WristKinematics()
+        q = euler_zyx_to_quat(0.4, -0.2, 0.3)
+        roll, pitch, jaw1, jaw2 = wrist.targets_from_quaternion(q)
+        assert math.isclose(roll, 0.4, abs_tol=1e-9)
+        assert math.isclose(pitch, -0.2, abs_tol=1e-9)
+        assert math.isclose(0.5 * (jaw1 + jaw2), 0.3, abs_tol=1e-9)
+
+    def test_grasp_angle_splits_jaws(self):
+        wrist = WristKinematics(grasp_half_angle=0.25)
+        q = euler_zyx_to_quat(0.0, 0.0, 0.1)
+        _roll, _pitch, jaw1, jaw2 = wrist.targets_from_quaternion(q)
+        assert math.isclose(jaw1 - jaw2, 0.5, abs_tol=1e-9)
+
+
+class TestWristTracking:
+    def test_step_converges_to_targets(self):
+        wrist = WristKinematics(time_constant=0.01)
+        targets = np.array([0.3, -0.1, 0.2, 0.1])
+        for _ in range(1000):
+            wrist.step(targets, dt=1e-3)
+        assert wrist.orientation_error(targets) < 1e-6
+
+    def test_step_moves_toward_targets(self):
+        wrist = WristKinematics()
+        targets = np.array([1.0, 0.0, 0.0, 0.0])
+        before = wrist.orientation_error(targets)
+        wrist.step(targets, dt=1e-3)
+        assert wrist.orientation_error(targets) < before
+
+    def test_pose_tuple_averages_jaws(self):
+        roll, pitch, yaw = wrist_pose_tuple(np.array([0.1, 0.2, 0.5, 0.3]))
+        assert roll == 0.1 and pitch == 0.2
+        assert math.isclose(yaw, 0.4)
