@@ -1,0 +1,113 @@
+"""Campaign execution throughput: serial vs the parallel engine.
+
+Runs one fixed small campaign grid twice — once through the serial
+:class:`~repro.attacks.campaign.CampaignRunner` and once through the
+process-pool :class:`~repro.attacks.campaign.ParallelCampaignRunner`
+with ``REPRO_BENCH_JOBS`` workers (default 4) — and records campaign
+runs/sec for both, plus the speedup.
+
+Properties under test:
+
+- parallel outcomes are **bit-identical** to serial ones (same values,
+  same order) — determinism is the engine's core contract;
+- with 4 workers on >= 4 cores, throughput improves by at least 3x
+  (the speedup assertion is skipped, but still recorded, on smaller
+  machines where 4 workers cannot physically beat one).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.attacks.campaign import CampaignRunner, ParallelCampaignRunner
+
+#: Fixed benchmark workload, independent of REPRO_SCALE so throughput
+#: numbers are comparable across machines and runs.
+GRID = dict(
+    scenario="B",
+    error_values=[9000, 26000],
+    periods_ms=[16, 64],
+    repetitions=2,
+    fault_free_runs=4,
+)
+DURATION_S = 0.8
+
+PARALLEL_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "4"))
+
+#: The speedup floor asserted when the machine has enough cores.
+MIN_SPEEDUP = 3.0
+
+
+def _campaign_runs(result) -> int:
+    return len(result.outcomes)
+
+
+@pytest.fixture(scope="module")
+def timed_campaigns(thresholds):
+    """(serial_result, serial_s, parallel_result, parallel_s)."""
+    serial_runner = CampaignRunner(thresholds, duration_s=DURATION_S)
+    t0 = time.perf_counter()
+    serial = serial_runner.run_campaign(**GRID)
+    serial_s = time.perf_counter() - t0
+
+    parallel_runner = ParallelCampaignRunner(
+        thresholds, duration_s=DURATION_S, jobs=PARALLEL_JOBS
+    )
+    t0 = time.perf_counter()
+    parallel = parallel_runner.run_campaign(**GRID)
+    parallel_s = time.perf_counter() - t0
+    return serial, serial_s, parallel, parallel_s
+
+
+@pytest.mark.campaign
+def test_campaign_throughput_artifact(artifact_writer, timed_campaigns, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    serial, serial_s, parallel, parallel_s = timed_campaigns
+    runs = _campaign_runs(serial)
+    serial_rps = runs / serial_s
+    parallel_rps = runs / parallel_s
+    speedup = parallel_rps / serial_rps
+    cores = os.cpu_count() or 1
+    artifact_writer(
+        "campaign_throughput",
+        "\n".join(
+            [
+                f"workload: {runs} campaign runs "
+                f"({GRID['scenario']}, {len(GRID['error_values'])} errors x "
+                f"{len(GRID['periods_ms'])} periods x {GRID['repetitions']} reps "
+                f"+ {GRID['fault_free_runs']} fault-free), "
+                f"duration {DURATION_S}s/run",
+                f"machine: {cores} cores; parallel jobs: {PARALLEL_JOBS}",
+                f"serial:   {serial_s:7.2f}s  ({serial_rps:6.2f} runs/sec)",
+                f"parallel: {parallel_s:7.2f}s  ({parallel_rps:6.2f} runs/sec)",
+                f"speedup:  {speedup:5.2f}x",
+                f"bit-identical outcomes: {serial.outcomes == parallel.outcomes}",
+            ]
+        ),
+    )
+
+
+@pytest.mark.campaign
+def test_parallel_bit_identical_to_serial(timed_campaigns, benchmark):
+    """The engine's determinism contract: same values, same order."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    serial, _, parallel, _ = timed_campaigns
+    assert serial.outcomes == parallel.outcomes
+
+
+@pytest.mark.campaign
+def test_parallel_speedup(timed_campaigns, benchmark):
+    """>= 3x runs/sec with 4 workers, where the hardware allows it."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    cores = os.cpu_count() or 1
+    if cores < PARALLEL_JOBS:
+        pytest.skip(
+            f"only {cores} cores available; {PARALLEL_JOBS} workers cannot "
+            f"demonstrate a {MIN_SPEEDUP}x speedup (numbers still recorded "
+            "in results/campaign_throughput.txt)"
+        )
+    _, serial_s, _, parallel_s = timed_campaigns
+    assert serial_s / parallel_s >= MIN_SPEEDUP

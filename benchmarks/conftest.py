@@ -9,6 +9,11 @@ run.
 Scale control: set ``REPRO_SCALE=smoke|default|paper`` (see
 ``repro.experiments.scale``).  ``paper`` reproduces the paper's full run
 counts and takes hours; ``default`` preserves the shapes in minutes.
+
+Parallelism: campaign execution and threshold training fan out over
+``REPRO_JOBS`` worker processes (default ``cpu_count - 1``; ``1`` forces
+serial).  Results are bit-identical to serial runs; see
+``repro.experiments.parallel`` and ``bench_campaign_throughput.py``.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ from pathlib import Path
 import pytest
 
 from repro.experiments.calibration import get_thresholds
+from repro.experiments.parallel import resolve_jobs
 from repro.experiments.scale import current_scale
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
@@ -30,9 +36,15 @@ def scale():
 
 
 @pytest.fixture(scope="session")
-def thresholds(scale):
+def jobs():
+    """Execution-engine worker count (``REPRO_JOBS``, default serial-safe)."""
+    return resolve_jobs()
+
+
+@pytest.fixture(scope="session")
+def thresholds(scale, jobs):
     """Calibrated detector thresholds (cached per scale)."""
-    return get_thresholds(scale)
+    return get_thresholds(scale, jobs=jobs)
 
 
 @pytest.fixture(scope="session")

@@ -19,7 +19,9 @@ so the comparison isolates exactly the attack's effect.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro import constants
 from repro.core.baseline import RavenBaselineDetector
@@ -137,19 +139,32 @@ class CampaignRunner:
         self.attack_delay_cycles = attack_delay_cycles
         self.base_seed = base_seed
         self.baseline = RavenBaselineDetector()
-        self._references: Dict[int, RunTrace] = {}
+        self._references: Dict[int, np.ndarray] = {}
         self._progress = progress or (lambda msg: None)
 
     # -- pieces ------------------------------------------------------------------
 
-    def _reference(self, seed: int) -> RunTrace:
-        """Fault-free reference trace for ``seed`` (cached)."""
+    def compute_reference_tip(self, seed: int) -> np.ndarray:
+        """Tip-position array of the fault-free reference run for ``seed``."""
+        return run_fault_free(
+            seed=seed,
+            trajectory_name=self.trajectory_name,
+            duration_s=self.duration_s,
+        ).tip_array
+
+    def prime_references(self, references: Dict[int, np.ndarray]) -> None:
+        """Install precomputed reference tip arrays (seed -> ``(n, 3)``).
+
+        The parallel engine computes every seed's fault-free reference
+        exactly once in a warm-up pass and hands the tips to each worker,
+        instead of each worker re-deriving them.
+        """
+        self._references.update(references)
+
+    def _reference_tip(self, seed: int) -> np.ndarray:
+        """Fault-free reference tip array for ``seed`` (cached)."""
         if seed not in self._references:
-            self._references[seed] = run_fault_free(
-                seed=seed,
-                trajectory_name=self.trajectory_name,
-                duration_s=self.duration_s,
-            )
+            self._references[seed] = self.compute_reference_tip(seed)
         return self._references[seed]
 
     def _attack_runner(self, cell: CampaignCell):
@@ -162,8 +177,15 @@ class CampaignRunner:
         )
 
     def run_cell_once(self, cell: CampaignCell, seed: int) -> RunOutcome:
-        """Both replicas of one repetition of ``cell``."""
+        """Both replicas of one repetition of ``cell``.
+
+        All shared setup — the attack-runner closure, the common run
+        parameters, and the fault-free reference tips — is derived once
+        here and reused by both replicas (and, via the reference cache,
+        by every other repetition with the same seed).
+        """
         runner = self._attack_runner(cell)
+        reference_tip = self._reference_tip(seed)
         common = dict(
             seed=seed,
             duration_s=self.duration_s,
@@ -173,7 +195,7 @@ class CampaignRunner:
 
         # Ground truth: no RAVEN checks, no detector.
         raw = runner(raven_safety_enabled=False, guard=None, **common)
-        deviation = raw.trace.max_deviation_from(self._reference(seed))
+        deviation = raw.trace.max_deviation_from_tip(reference_tip)
         label = deviation > IMPACT_DEVIATION_M
 
         # Monitored replica: RAVEN checks + detector in monitor mode.
@@ -215,6 +237,33 @@ class CampaignRunner:
 
     # -- whole campaigns -------------------------------------------------------------
 
+    def plan_cells(
+        self,
+        scenario: str,
+        error_values: Sequence[float],
+        periods_ms: Sequence[int] = PAPER_PERIODS_MS,
+    ) -> List[CampaignCell]:
+        """The campaign grid, in deterministic sweep order."""
+        return [
+            CampaignCell(scenario=scenario, error_value=v, period_ms=p)
+            for v in error_values
+            for p in periods_ms
+        ]
+
+    def repetition_seeds(self, repetitions: int) -> List[int]:
+        """The seeds used for every cell's repetitions, in order."""
+        return [self.base_seed + rep for rep in range(repetitions)]
+
+    def fault_free_seeds(self, fault_free_runs: int) -> List[int]:
+        """The seeds of the attack-free (negative-label) runs, in order."""
+        return [self.base_seed + 1000 + i for i in range(fault_free_runs)]
+
+    def default_fault_free_runs(
+        self, cells: Sequence[CampaignCell], repetitions: int
+    ) -> int:
+        """Default negative-run count: ~20% of the injection runs."""
+        return max(1, len(cells) * repetitions // 5)
+
     def run_campaign(
         self,
         scenario: str,
@@ -228,124 +277,243 @@ class CampaignRunner:
 
         ``fault_free_runs`` adds that many attack-free negative runs,
         defaulting to roughly 20% of the injection runs when 0 is passed.
-        ``workers > 1`` distributes the runs over that many processes
-        (every run is an independent deterministic function of its cell
-        and seed) — the paper-scale campaigns are hours of single-core
-        simulation otherwise.
+        ``workers > 1`` delegates to :class:`ParallelCampaignRunner` with
+        that many processes (every run is an independent deterministic
+        function of its cell and seed, so results are bit-identical) —
+        the paper-scale campaigns are hours of single-core simulation
+        otherwise.
         """
-        cells = [
-            CampaignCell(scenario=scenario, error_value=v, period_ms=p)
-            for v in error_values
-            for p in periods_ms
-        ]
-        if fault_free_runs <= 0:
-            fault_free_runs = max(1, len(cells) * repetitions // 5)
         if workers > 1:
-            return self._run_campaign_parallel(
-                scenario, cells, repetitions, fault_free_runs, workers
+            return ParallelCampaignRunner.from_runner(
+                self, jobs=workers
+            ).run_campaign(
+                scenario,
+                error_values,
+                periods_ms=periods_ms,
+                repetitions=repetitions,
+                fault_free_runs=fault_free_runs,
             )
+        cells = self.plan_cells(scenario, error_values, periods_ms)
+        if fault_free_runs <= 0:
+            fault_free_runs = self.default_fault_free_runs(cells, repetitions)
         result = CampaignResult(scenario=scenario)
         for ci, cell in enumerate(cells):
-            for rep in range(repetitions):
-                seed = self.base_seed + rep
+            for seed in self.repetition_seeds(repetitions):
                 result.outcomes.append(self.run_cell_once(cell, seed))
             self._progress(
                 f"[{scenario}] cell {ci + 1}/{len(cells)} "
                 f"(v={cell.error_value}, d={cell.period_ms}ms) done"
             )
-        for i in range(fault_free_runs):
-            result.outcomes.append(
-                self.run_fault_free_once(self.base_seed + 1000 + i)
-            )
+        for seed in self.fault_free_seeds(fault_free_runs):
+            result.outcomes.append(self.run_fault_free_once(seed))
         self._progress(f"[{scenario}] campaign complete: {len(result.outcomes)} runs")
         return result
 
-    def _run_campaign_parallel(
+
+class ParallelCampaignRunner(CampaignRunner):
+    """Campaign execution fanned out over ``jobs`` worker processes.
+
+    The run plan is identical to the serial :class:`CampaignRunner` —
+    the same cells, the same repetition and fault-free seeds, merged in
+    the same order — and every run is a deterministic function of the
+    runner configuration and its seed, so the outcome list is
+    bit-identical to serial execution.  Three phases:
+
+    1. **warm-up** — the fault-free reference trace of every repetition
+       seed is computed once (in parallel) and its tip array distributed
+       to the workers, instead of each worker re-deriving references;
+    2. **cells** — each (cell, all repetitions) group is one task; results
+       stream back in grid order, and a callback fires per completed cell
+       so callers can checkpoint (cache shards) incrementally;
+    3. **fault-free runs** — the negative-label runs, chunked across the
+       workers.
+    """
+
+    def __init__(self, *args, jobs: Optional[int] = None, **kwargs) -> None:
+        from repro.experiments.parallel import resolve_jobs
+
+        super().__init__(*args, **kwargs)
+        self.jobs = resolve_jobs(jobs)
+
+    @classmethod
+    def from_runner(
+        cls, runner: CampaignRunner, jobs: Optional[int] = None
+    ) -> "ParallelCampaignRunner":
+        """A parallel runner with the same configuration as ``runner``."""
+        parallel = cls(
+            runner.thresholds,
+            duration_s=runner.duration_s,
+            trajectory_name=runner.trajectory_name,
+            attack_delay_cycles=runner.attack_delay_cycles,
+            base_seed=runner.base_seed,
+            jobs=jobs,
+        )
+        parallel._progress = runner._progress
+        parallel._references = runner._references
+        return parallel
+
+    def _worker_config(self) -> dict:
+        """Picklable construction parameters for worker-side runners."""
+        return {
+            "thresholds": self.thresholds.to_dict(),
+            "duration_s": self.duration_s,
+            "trajectory_name": self.trajectory_name,
+            "attack_delay_cycles": self.attack_delay_cycles,
+            "base_seed": self.base_seed,
+        }
+
+    # -- phases ------------------------------------------------------------------
+
+    def compute_references(self, seeds: Sequence[int]) -> Dict[int, np.ndarray]:
+        """Warm-up pass: fault-free reference tips for every seed, once.
+
+        Already-cached references are not recomputed; new ones are merged
+        into this runner's cache and returned for distribution to workers.
+        """
+        from repro.experiments.parallel import iter_tasks
+
+        missing = [s for s in seeds if s not in self._references]
+        tasks = [(self._worker_config(), seed) for seed in missing]
+        for seed, tip in iter_tasks(
+            _reference_worker,
+            tasks,
+            jobs=self.jobs,
+            progress=self._progress,
+            label="reference warm-up",
+        ):
+            self._references[seed] = tip
+        return {s: self._references[s] for s in seeds}
+
+    def iter_cells(
+        self,
+        cells: Sequence[CampaignCell],
+        seeds: Sequence[int],
+        references: Optional[Dict[int, np.ndarray]] = None,
+    ) -> Iterator[Tuple[CampaignCell, List[RunOutcome]]]:
+        """Run ``cells`` x ``seeds``, yielding per-cell outcome lists in
+        grid order as they complete."""
+        from repro.experiments.parallel import iter_tasks
+
+        if references is None:
+            references = self.compute_references(seeds)
+        config = self._worker_config()
+        tasks = [
+            (
+                config,
+                (cell.scenario, cell.error_value, cell.period_ms),
+                list(seeds),
+                references,
+            )
+            for cell in cells
+        ]
+        for cell, outcomes in zip(
+            cells,
+            iter_tasks(
+                _cell_worker,
+                tasks,
+                jobs=self.jobs,
+                progress=self._progress,
+                label="campaign cells",
+            ),
+        ):
+            yield cell, outcomes
+
+    def run_fault_free_batch(self, seeds: Sequence[int]) -> List[RunOutcome]:
+        """The attack-free (negative-label) runs, chunked across workers."""
+        from repro.experiments.parallel import chunked, iter_tasks
+
+        config = self._worker_config()
+        tasks = [(config, chunk) for chunk in chunked(list(seeds), self.jobs)]
+        outcomes: List[RunOutcome] = []
+        for batch in iter_tasks(
+            _fault_free_worker,
+            tasks,
+            jobs=self.jobs,
+            progress=self._progress,
+            label="fault-free runs",
+        ):
+            outcomes.extend(batch)
+        return outcomes
+
+    # -- whole campaigns -------------------------------------------------------------
+
+    def run_campaign(
         self,
         scenario: str,
-        cells: List[CampaignCell],
-        repetitions: int,
-        fault_free_runs: int,
-        workers: int,
+        error_values: Sequence[float],
+        periods_ms: Sequence[int] = PAPER_PERIODS_MS,
+        repetitions: int = 20,
+        fault_free_runs: int = 0,
+        workers: int = 0,
+        on_cell_done: Optional[
+            Callable[[CampaignCell, List[RunOutcome]], None]
+        ] = None,
     ) -> CampaignResult:
-        """Fan the independent runs out over a process pool.
+        """Parallel sweep with the serial plan and merge order.
 
-        Work is grouped by repetition seed so each worker reuses its
-        fault-free reference run across all cells with that seed.
+        ``on_cell_done`` fires after each cell's repetitions complete (in
+        grid order) — the cache layer uses it to write one shard per cell
+        so interrupted campaigns resume instead of restarting.
         """
-        from concurrent.futures import ProcessPoolExecutor
-
-        config = _RunnerConfig(
-            thresholds=self.thresholds.to_dict(),
-            duration_s=self.duration_s,
-            trajectory_name=self.trajectory_name,
-            attack_delay_cycles=self.attack_delay_cycles,
-            base_seed=self.base_seed,
-        )
-        tasks = []
-        for rep in range(repetitions):
-            seed = self.base_seed + rep
-            tasks.append(
-                (
-                    config,
-                    [(c.scenario, c.error_value, c.period_ms) for c in cells],
-                    seed,
-                )
-            )
-        ff_seeds = [self.base_seed + 1000 + i for i in range(fault_free_runs)]
-        chunk = max(1, len(ff_seeds) // max(1, workers))
-        ff_tasks = [
-            (config, None, ff_seeds[i : i + chunk])
-            for i in range(0, len(ff_seeds), chunk)
-        ]
-
+        if workers > 1:
+            self.jobs = workers
+        cells = self.plan_cells(scenario, error_values, periods_ms)
+        if fault_free_runs <= 0:
+            fault_free_runs = self.default_fault_free_runs(cells, repetitions)
+        seeds = self.repetition_seeds(repetitions)
+        references = self.compute_references(seeds)
         result = CampaignResult(scenario=scenario)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            done = 0
-            for outcomes in pool.map(_campaign_worker, tasks + ff_tasks):
-                result.outcomes.extend(outcomes)
-                done += 1
-                self._progress(
-                    f"[{scenario}] parallel batch {done}/{len(tasks) + len(ff_tasks)} done"
-                )
+        for cell, outcomes in self.iter_cells(cells, seeds, references):
+            result.outcomes.extend(outcomes)
+            if on_cell_done is not None:
+                on_cell_done(cell, outcomes)
+        result.outcomes.extend(
+            self.run_fault_free_batch(self.fault_free_seeds(fault_free_runs))
+        )
         self._progress(
             f"[{scenario}] campaign complete: {len(result.outcomes)} runs "
-            f"({workers} workers)"
+            f"({self.jobs} jobs)"
         )
         return result
 
 
-@dataclass(frozen=True)
-class _RunnerConfig:
-    """Picklable CampaignRunner construction parameters."""
-
-    thresholds: dict
-    duration_s: float
-    trajectory_name: str
-    attack_delay_cycles: int
-    base_seed: int
+# ---------------------------------------------------------------------------
+# Process-pool entry points (module-level for picklability)
+# ---------------------------------------------------------------------------
 
 
-def _campaign_worker(task) -> List[RunOutcome]:
-    """Process-pool entry: run one seed's cells, or a batch of fault-free
-    runs (``cells is None``)."""
-    config, cells, seed_or_seeds = task
-    runner = CampaignRunner(
-        SafetyThresholds.from_dict(config.thresholds),
-        duration_s=config.duration_s,
-        trajectory_name=config.trajectory_name,
-        attack_delay_cycles=config.attack_delay_cycles,
-        base_seed=config.base_seed,
+def _runner_from_config(config: dict) -> CampaignRunner:
+    return CampaignRunner(
+        SafetyThresholds.from_dict(config["thresholds"]),
+        duration_s=config["duration_s"],
+        trajectory_name=config["trajectory_name"],
+        attack_delay_cycles=config["attack_delay_cycles"],
+        base_seed=config["base_seed"],
     )
-    if cells is None:
-        return [runner.run_fault_free_once(seed) for seed in seed_or_seeds]
-    outcomes = []
-    for scenario, error_value, period_ms in cells:
-        cell = CampaignCell(
-            scenario=scenario, error_value=error_value, period_ms=period_ms
-        )
-        outcomes.append(runner.run_cell_once(cell, seed_or_seeds))
-    return outcomes
+
+
+def _reference_worker(task) -> Tuple[int, np.ndarray]:
+    """Warm-up entry: one seed's fault-free reference tip array."""
+    config, seed = task
+    return seed, _runner_from_config(config).compute_reference_tip(seed)
+
+
+def _cell_worker(task) -> List[RunOutcome]:
+    """Cell entry: all repetitions of one cell, in seed order."""
+    config, (scenario, error_value, period_ms), seeds, references = task
+    runner = _runner_from_config(config)
+    runner.prime_references(references)
+    cell = CampaignCell(
+        scenario=scenario, error_value=error_value, period_ms=period_ms
+    )
+    return [runner.run_cell_once(cell, seed) for seed in seeds]
+
+
+def _fault_free_worker(task) -> List[RunOutcome]:
+    """Fault-free entry: one chunk of negative-label runs, in seed order."""
+    config, seeds = task
+    runner = _runner_from_config(config)
+    return [runner.run_fault_free_once(seed) for seed in seeds]
 
 
 def table4_rows(results: Sequence[CampaignResult]) -> List[Tuple[str, str, ConfusionMatrix]]:

@@ -115,11 +115,38 @@ class ThresholdLearner:
 
     def observe(self, estimate: StateEstimate) -> None:
         """Add one control cycle's instant rates to the pool."""
-        self._samples["motor_velocity"].append(np.abs(estimate.motor_velocity))
-        self._samples["motor_acceleration"].append(
-            np.abs(estimate.motor_acceleration)
+        self._samples["motor_velocity"].append(
+            np.abs(estimate.motor_velocity).reshape(1, 3)
         )
-        self._samples["joint_velocity"].append(np.abs(estimate.joint_velocity))
+        self._samples["motor_acceleration"].append(
+            np.abs(estimate.motor_acceleration).reshape(1, 3)
+        )
+        self._samples["joint_velocity"].append(
+            np.abs(estimate.joint_velocity).reshape(1, 3)
+        )
+
+    def observe_run(
+        self,
+        motor_velocity: np.ndarray,
+        motor_acceleration: np.ndarray,
+        joint_velocity: np.ndarray,
+    ) -> None:
+        """Add one whole run's stacked ``(cycles, 3)`` rate traces.
+
+        The batch equivalent of calling :meth:`observe` once per cycle
+        followed by :meth:`finish_run`; campaign workers hand back entire
+        runs this way so the pool is built from a few array appends
+        instead of thousands of per-sample Python calls.
+        """
+        for group, trace in (
+            ("motor_velocity", motor_velocity),
+            ("motor_acceleration", motor_acceleration),
+            ("joint_velocity", joint_velocity),
+        ):
+            block = np.abs(np.asarray(trace, dtype=float)).reshape(-1, 3)
+            if block.size:
+                self._samples[group].append(block)
+        self.runs_observed += 1
 
     def finish_run(self) -> None:
         """Mark the end of one fault-free run (bookkeeping only)."""
@@ -128,7 +155,25 @@ class ThresholdLearner:
     @property
     def sample_count(self) -> int:
         """Number of cycles pooled so far."""
-        return len(self._samples["motor_velocity"])
+        return sum(block.shape[0] for block in self._samples["motor_velocity"])
+
+    def _percentiles(self, percentiles) -> dict:
+        """Per-group threshold rows at each requested percentile.
+
+        One vectorized ``np.percentile`` call per variable group over the
+        stacked sample pool computes every requested percentile at once.
+        """
+        if self.sample_count == 0:
+            raise DetectorError("cannot fit thresholds without samples")
+        return {
+            group: np.atleast_2d(
+                np.percentile(
+                    np.vstack(self._samples[group]), percentiles, axis=0
+                )
+            )
+            * self.margin
+            for group in VARIABLE_GROUPS
+        }
 
     def fit(self) -> SafetyThresholds:
         """Compute the per-variable percentile thresholds.
@@ -138,33 +183,29 @@ class ThresholdLearner:
         DetectorError
             If no samples were observed.
         """
-        if self.sample_count == 0:
-            raise DetectorError("cannot fit thresholds without samples")
-        values = {}
-        for group in VARIABLE_GROUPS:
-            stacked = np.vstack(self._samples[group])
-            values[group] = (
-                np.percentile(stacked, self.percentile, axis=0) * self.margin
-            )
+        values = self._percentiles([self.percentile])
         return SafetyThresholds(
-            motor_velocity=values["motor_velocity"],
-            motor_acceleration=values["motor_acceleration"],
-            joint_velocity=values["joint_velocity"],
+            motor_velocity=values["motor_velocity"][0],
+            motor_acceleration=values["motor_acceleration"][0],
+            joint_velocity=values["joint_velocity"][0],
             percentile=self.percentile,
             margin=self.margin,
         )
 
     def fit_range(self) -> List[SafetyThresholds]:
         """Thresholds at both ends of the paper's 99.8-99.9 band."""
-        out = []
-        for pct in (
+        band = (
             constants.THRESHOLD_PERCENTILE_LO,
             constants.THRESHOLD_PERCENTILE_HI,
-        ):
-            saved = self.percentile
-            self.percentile = pct
-            try:
-                out.append(self.fit())
-            finally:
-                self.percentile = saved
-        return out
+        )
+        values = self._percentiles(list(band))
+        return [
+            SafetyThresholds(
+                motor_velocity=values["motor_velocity"][i],
+                motor_acceleration=values["motor_acceleration"][i],
+                joint_velocity=values["joint_velocity"][i],
+                percentile=pct,
+                margin=self.margin,
+            )
+            for i, pct in enumerate(band)
+        ]

@@ -21,19 +21,19 @@ from typing import Callable, Dict
 from repro.experiments.scale import current_scale
 
 
-def _table1() -> str:
+def _table1(jobs=None) -> str:
     from repro.experiments.table1 import format_results, run_table1
 
     return format_results(run_table1())
 
 
-def _table2() -> str:
+def _table2(jobs=None) -> str:
     from repro.experiments.table2 import format_results, run_table2
 
     return format_results(run_table2(samples=current_scale().syscall_samples))
 
 
-def _fig5() -> str:
+def _fig5(jobs=None) -> str:
     from repro.experiments.fig5 import format_results, run_fig5
 
     return format_results(
@@ -41,7 +41,7 @@ def _fig5() -> str:
     )
 
 
-def _fig6() -> str:
+def _fig6(jobs=None) -> str:
     from repro.experiments.fig6 import format_results, run_fig6
 
     scale = current_scale()
@@ -50,7 +50,7 @@ def _fig6() -> str:
     )
 
 
-def _fig8() -> str:
+def _fig8(jobs=None) -> str:
     from repro.experiments.fig8 import format_results, run_fig8
 
     scale = current_scale()
@@ -62,14 +62,14 @@ def _fig8() -> str:
     )
 
 
-def _table4() -> str:
+def _table4(jobs=None) -> str:
     from repro.experiments.table4 import (
         average_accuracy,
         format_results,
         run_table4,
     )
 
-    rows = run_table4()
+    rows = run_table4(jobs=jobs)
     return (
         format_results(rows)
         + f"\n\naverage dynamic-model accuracy: "
@@ -77,10 +77,10 @@ def _table4() -> str:
     )
 
 
-def _fig9() -> str:
+def _fig9(jobs=None) -> str:
     from repro.experiments.fig9 import format_results, run_fig9, shape_checks
 
-    tables = run_fig9()
+    tables = run_fig9(jobs=jobs)
     checks = shape_checks(tables)
     lines = [format_results(tables), "", "shape checks:"]
     lines += [f"  [{'ok' if ok else 'FAIL'}] {name}" for name, ok in checks.items()]
@@ -109,6 +109,14 @@ def main(argv=None) -> int:
         choices=sorted(ARTIFACTS) + ["all"],
         help="which artifacts to regenerate ('all' for every one)",
     )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        help="worker processes for campaign execution "
+        "(default: REPRO_JOBS, else cpu_count - 1; 1 = serial)",
+    )
     args = parser.parse_args(argv)
 
     names = sorted(ARTIFACTS) if "all" in args.artifacts else args.artifacts
@@ -117,7 +125,7 @@ def main(argv=None) -> int:
     for name in names:
         t0 = time.perf_counter()
         print(f"=== {name} ===")
-        print(ARTIFACTS[name]())
+        print(ARTIFACTS[name](jobs=args.jobs))
         print(f"[{name} done in {time.perf_counter() - t0:.1f}s]\n")
     return 0
 

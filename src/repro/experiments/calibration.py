@@ -4,6 +4,15 @@ Threshold learning is the most frequently reused expensive step (every
 detection experiment needs calibrated thresholds), so the fitted
 :class:`~repro.core.thresholds.SafetyThresholds` are cached as JSON keyed
 by the scale preset.
+
+The cache payload is versioned: it carries the engine schema version and
+a fingerprint of the training configuration (run count, duration,
+percentile band, model parameters, seeds), so a payload written by an
+older layout or under different training settings retrains instead of
+being silently reused.  Writes are atomic (temp file + ``os.replace``).
+Training fans its independent fault-free runs out across ``REPRO_JOBS``
+worker processes; samples merge in seed order, so the fitted thresholds
+are bit-identical to a serial run.
 """
 
 from __future__ import annotations
@@ -11,9 +20,16 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Optional
 
+from repro import constants
 from repro.core.thresholds import SafetyThresholds
+from repro.experiments.parallel import (
+    atomic_write_json,
+    load_versioned_json,
+    resolve_jobs,
+    versioned_payload,
+)
 from repro.experiments.scale import Scale, current_scale
-from repro.sim.runner import train_thresholds
+from repro.sim.runner import DEFAULT_MODEL_PARAMETER_ERROR, train_thresholds
 
 #: Default cache directory (repository-local, safe to delete).
 CACHE_DIR = Path(__file__).resolve().parents[3] / ".cache"
@@ -25,20 +41,54 @@ def thresholds_cache_path(scale: Scale, cache_dir: Optional[Path] = None) -> Pat
     return directory / f"thresholds_{scale.name}.json"
 
 
+def calibration_config(scale: Scale) -> dict:
+    """Everything the cached thresholds depend on, for fingerprinting."""
+    return {
+        "training_runs": scale.training_runs,
+        "training_duration_s": scale.training_duration_s,
+        "percentile_band": [
+            constants.THRESHOLD_PERCENTILE_LO,
+            constants.THRESHOLD_PERCENTILE_HI,
+        ],
+        "parameter_error": DEFAULT_MODEL_PARAMETER_ERROR,
+        "integrator": "euler",
+        "base_seed": 10_000,
+    }
+
+
+def write_thresholds_cache(
+    path: Path, thresholds: SafetyThresholds, scale: Scale
+) -> None:
+    """Atomically write the versioned thresholds payload for ``scale``."""
+    atomic_write_json(
+        path,
+        versioned_payload(
+            calibration_config(scale), {"thresholds": thresholds.to_dict()}
+        ),
+    )
+
+
 def get_thresholds(
     scale: Optional[Scale] = None,
     cache_dir: Optional[Path] = None,
     force_retrain: bool = False,
+    jobs: Optional[int] = None,
 ) -> SafetyThresholds:
-    """Load cached thresholds for ``scale``, training them if absent."""
+    """Load cached thresholds for ``scale``, training them if absent.
+
+    A missing, corrupt, legacy-format, or configuration-mismatched cache
+    retrains; training runs execute on ``jobs`` worker processes
+    (default ``REPRO_JOBS``).
+    """
     scale = scale or current_scale()
     path = thresholds_cache_path(scale, cache_dir)
-    if path.exists() and not force_retrain:
-        return SafetyThresholds.load(path)
+    payload = load_versioned_json(path, calibration_config(scale))
+    if payload is not None and "thresholds" in payload and not force_retrain:
+        return SafetyThresholds.from_dict(payload["thresholds"])
     thresholds = train_thresholds(
         num_runs=scale.training_runs,
         duration_s=scale.training_duration_s,
+        jobs=resolve_jobs(jobs),
     )
-    path.parent.mkdir(parents=True, exist_ok=True)
-    thresholds.save(path)
+    write_thresholds_cache(path, thresholds, scale)
     return thresholds

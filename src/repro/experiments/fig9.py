@@ -29,9 +29,14 @@ from repro.experiments.report import format_table
 
 def run_fig9(
     campaigns: Optional[Dict[str, CampaignResult]] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, Dict[CampaignCell, Dict[str, float]]]:
-    """Per-scenario, per-cell probability tables."""
-    campaigns = campaigns or get_both_campaigns()
+    """Per-scenario, per-cell probability tables.
+
+    ``jobs`` sets the execution-engine worker count used when the
+    campaigns are not cached yet (default: ``REPRO_JOBS``).
+    """
+    campaigns = campaigns or get_both_campaigns(jobs=jobs)
     return {s: campaigns[s].cell_probabilities() for s in ("A", "B")}
 
 

@@ -1,0 +1,227 @@
+"""Process-pool execution engine for the campaign layer.
+
+The paper's evaluation is thousands of *independent* simulator runs
+(1 925 scenario-A + 1 361 scenario-B campaign runs plus 600
+threshold-training runs), each a deterministic function of its
+configuration and seed.  This module provides the shared machinery that
+fans those runs out across worker processes and persists their results
+safely:
+
+- :func:`resolve_jobs` — worker-count policy (``REPRO_JOBS`` environment
+  variable, default ``os.cpu_count() - 1``, ``1`` = serial fallback);
+- :func:`iter_tasks` / :func:`run_tasks` — deterministic-order map over a
+  :class:`~concurrent.futures.ProcessPoolExecutor` that degrades to a
+  plain in-process loop when one job is requested, so parallel results
+  are bit-identical to serial ones by construction;
+- :func:`atomic_write_text` / :func:`atomic_write_json` — temp file +
+  ``os.replace`` writes, so an interrupt can never leave a half-written
+  cache file behind;
+- versioned cache payloads (:func:`versioned_payload`,
+  :func:`load_versioned_json`) keyed by a fingerprint of everything the
+  cached data depends on, so stale caches invalidate instead of silently
+  poisoning later artifacts.
+
+The module deliberately imports nothing from the simulator: worker
+functions live next to the code they execute (``repro.attacks.campaign``,
+``repro.sim.runner``) and only the generic engine lives here.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    TypeVar,
+    Union,
+)
+
+#: Version of the on-disk cache layout.  Bump when the shape of cached
+#: payloads (outcome fields, shard layout, threshold payloads) changes;
+#: every cache written under a different version is invalidated on read.
+SCHEMA_VERSION = 2
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+# ---------------------------------------------------------------------------
+# Worker-count policy
+# ---------------------------------------------------------------------------
+
+
+def default_jobs() -> int:
+    """The default worker count: all cores but one, at least one."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Number of worker processes to use.
+
+    Explicit ``jobs`` wins; otherwise the ``REPRO_JOBS`` environment
+    variable (``REPRO_WORKERS`` is honoured as a legacy alias); otherwise
+    :func:`default_jobs`.  ``1`` means serial in-process execution.
+    """
+    if jobs is not None:
+        return max(1, int(jobs))
+    for var in ("REPRO_JOBS", "REPRO_WORKERS"):
+        raw = os.environ.get(var, "").strip()
+        if raw:
+            try:
+                return max(1, int(raw))
+            except ValueError:
+                raise ValueError(
+                    f"{var} must be an integer, got {raw!r}"
+                ) from None
+    return default_jobs()
+
+
+# ---------------------------------------------------------------------------
+# Deterministic parallel map
+# ---------------------------------------------------------------------------
+
+
+def iter_tasks(
+    worker: Callable[[_T], _R],
+    tasks: Sequence[_T],
+    jobs: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    label: str = "tasks",
+) -> Iterator[_R]:
+    """Yield ``worker(task)`` for every task, **in task order**.
+
+    With ``jobs == 1`` (or a single task) this is a plain loop in the
+    calling process; otherwise tasks execute on a process pool whose
+    results are still consumed in submission order, so callers observe
+    the same sequence either way and merged results are bit-identical.
+    Results stream out as they become available, which lets callers
+    checkpoint (e.g. write a cache shard) after every task.
+    """
+    tasks = list(tasks)
+    jobs = resolve_jobs(jobs)
+    total = len(tasks)
+    if jobs == 1 or total <= 1:
+        for i, task in enumerate(tasks):
+            yield worker(task)
+            if progress:
+                progress(f"{label}: {i + 1}/{total} done (serial)")
+        return
+    with ProcessPoolExecutor(max_workers=min(jobs, total)) as pool:
+        for i, result in enumerate(pool.map(worker, tasks)):
+            yield result
+            if progress:
+                progress(f"{label}: {i + 1}/{total} done ({jobs} jobs)")
+
+
+def run_tasks(
+    worker: Callable[[_T], _R],
+    tasks: Sequence[_T],
+    jobs: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    label: str = "tasks",
+) -> List[_R]:
+    """Like :func:`iter_tasks` but collects the results into a list."""
+    return list(iter_tasks(worker, tasks, jobs=jobs, progress=progress, label=label))
+
+
+def chunked(items: Sequence[_T], chunks: int) -> List[List[_T]]:
+    """Split ``items`` into at most ``chunks`` contiguous, ordered groups."""
+    items = list(items)
+    if not items:
+        return []
+    chunks = max(1, min(chunks, len(items)))
+    size, extra = divmod(len(items), chunks)
+    out, start = [], 0
+    for i in range(chunks):
+        end = start + size + (1 if i < extra else 0)
+        out.append(items[start:end])
+        start = end
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Atomic cache writes
+# ---------------------------------------------------------------------------
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    A reader never observes a partially-written file: either the old
+    content is intact or the new content is complete.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(path: Union[str, Path], payload: Any, indent: int = 1) -> None:
+    """Serialize ``payload`` as JSON and write it atomically."""
+    atomic_write_text(path, json.dumps(payload, indent=indent))
+
+
+# ---------------------------------------------------------------------------
+# Versioned cache payloads
+# ---------------------------------------------------------------------------
+
+
+def config_fingerprint(config: dict) -> str:
+    """Stable short digest of everything a cached payload depends on."""
+    canonical = json.dumps(config, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def versioned_payload(config: dict, body: dict) -> dict:
+    """Wrap ``body`` with the schema version and config fingerprint."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "config": config_fingerprint(config),
+        **body,
+    }
+
+
+def payload_is_current(payload: Any, config: dict) -> bool:
+    """Whether a loaded payload matches this schema and ``config``."""
+    return (
+        isinstance(payload, dict)
+        and payload.get("schema") == SCHEMA_VERSION
+        and payload.get("config") == config_fingerprint(config)
+    )
+
+
+def load_versioned_json(path: Union[str, Path], config: dict) -> Optional[dict]:
+    """Load ``path`` if it exists, parses, and matches ``config``.
+
+    Unreadable, corrupt, unversioned (legacy), or mismatched payloads all
+    return ``None`` — the caller recomputes instead of trusting them.
+    """
+    path = Path(path)
+    if not path.exists():
+        return None
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    return payload if payload_is_current(payload, config) else None

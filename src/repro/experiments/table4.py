@@ -37,9 +37,14 @@ PAPER_TABLE4 = {
 
 def run_table4(
     campaigns: Optional[Dict[str, CampaignResult]] = None,
+    jobs: Optional[int] = None,
 ) -> List[tuple]:
-    """(scenario, technique, ConfusionMatrix) rows for both scenarios."""
-    campaigns = campaigns or get_both_campaigns()
+    """(scenario, technique, ConfusionMatrix) rows for both scenarios.
+
+    ``jobs`` sets the execution-engine worker count used when the
+    campaigns are not cached yet (default: ``REPRO_JOBS``).
+    """
+    campaigns = campaigns or get_both_campaigns(jobs=jobs)
     rows = []
     for scenario in ("A", "B"):
         result = campaigns[scenario]

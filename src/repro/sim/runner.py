@@ -110,6 +110,65 @@ class CalibrationGuard:
         return True
 
 
+class _SampleBuffer:
+    """Collects raw per-cycle estimates for one calibration run."""
+
+    def __init__(self) -> None:
+        self.motor_velocity: list = []
+        self.motor_acceleration: list = []
+        self.joint_velocity: list = []
+
+    def observe(self, estimate) -> None:
+        self.motor_velocity.append(estimate.motor_velocity)
+        self.motor_acceleration.append(estimate.motor_acceleration)
+        self.joint_velocity.append(estimate.joint_velocity)
+
+    def stacked(self) -> dict:
+        """``(cycles, 3)`` instant-rate traces, one array per group."""
+        return {
+            group: np.asarray(rows, dtype=float).reshape(-1, 3)
+            for group, rows in (
+                ("motor_velocity", self.motor_velocity),
+                ("motor_acceleration", self.motor_acceleration),
+                ("joint_velocity", self.joint_velocity),
+            )
+        }
+
+
+def collect_calibration_samples(
+    seed: int,
+    trajectory_name: str = "circle",
+    duration_s: float = 2.0,
+    parameter_error: float = DEFAULT_MODEL_PARAMETER_ERROR,
+    integrator: str = "euler",
+) -> dict:
+    """One fault-free calibration run's stacked instant-rate traces.
+
+    The unit of work for threshold training: a deterministic function of
+    its arguments, so runs can execute in any process and merge in seed
+    order with results identical to a serial loop.  Returns a dict of
+    ``(cycles, 3)`` arrays keyed by variable group, ready for
+    :meth:`~repro.core.thresholds.ThresholdLearner.observe_run`.
+    """
+    model = RavenDynamicModel(
+        integrator=integrator, parameter_error=parameter_error
+    )
+    buffer = _SampleBuffer()
+    guard = CalibrationGuard(NextStateEstimator(model), buffer)
+    config = RigConfig(
+        seed=seed, duration_s=duration_s, trajectory_name=trajectory_name
+    )
+    rig = SurgicalRig(config)
+    guard.attach(rig.usb_board)
+    rig.run()
+    return buffer.stacked()
+
+
+def _calibration_worker(task: dict) -> dict:
+    """Process-pool entry point for one calibration run."""
+    return collect_calibration_samples(**task)
+
+
 def train_thresholds(
     num_runs: int = 60,
     duration_s: float = 2.0,
@@ -118,6 +177,8 @@ def train_thresholds(
     parameter_error: float = DEFAULT_MODEL_PARAMETER_ERROR,
     integrator: str = "euler",
     base_seed: int = 10_000,
+    jobs: int = 1,
+    progress=None,
 ) -> SafetyThresholds:
     """Learn detection thresholds from fault-free runs.
 
@@ -126,24 +187,40 @@ def train_thresholds(
     ``num_runs=repro.constants.THRESHOLD_TRAINING_RUNS`` for paper scale.
     Runs alternate between the two paper trajectories (circle, suturing)
     with per-run randomized parameters for movement variability.
+
+    ``jobs > 1`` fans the independent runs out over that many worker
+    processes; samples merge in seed order, so the fitted thresholds are
+    bit-identical to a serial run.
     """
     kwargs = {} if percentile is None else {"percentile": percentile}
     learner = ThresholdLearner(margin=margin, **kwargs)
     families = ("circle", "suturing")
-    for i in range(num_runs):
-        model = RavenDynamicModel(
-            integrator=integrator, parameter_error=parameter_error
-        )
-        guard = CalibrationGuard(NextStateEstimator(model), learner)
-        config = RigConfig(
+    tasks = [
+        dict(
             seed=base_seed + i,
-            duration_s=duration_s,
             trajectory_name=families[i % len(families)],
+            duration_s=duration_s,
+            parameter_error=parameter_error,
+            integrator=integrator,
         )
-        rig = SurgicalRig(config)
-        guard.attach(rig.usb_board)
-        rig.run()
-        learner.finish_run()
+        for i in range(num_runs)
+    ]
+    if jobs == 1:
+        batches = (collect_calibration_samples(**task) for task in tasks)
+    else:
+        # Deferred import: the engine lives in the experiments layer and
+        # must not be a hard dependency of the simulator.
+        from repro.experiments.parallel import iter_tasks
+
+        batches = iter_tasks(
+            _calibration_worker,
+            tasks,
+            jobs=jobs,
+            progress=progress,
+            label="threshold training",
+        )
+    for batch in batches:
+        learner.observe_run(**batch)
     return learner.fit()
 
 

@@ -141,11 +141,21 @@ class RunTrace:
 
     def max_deviation_from(self, other: "RunTrace") -> float:
         """Max tip distance from another (e.g. fault-free) trace."""
-        n = min(len(self), len(other))
+        return self.max_deviation_from_tip(other.tip_array)
+
+    def max_deviation_from_tip(self, reference_tip: np.ndarray) -> float:
+        """Max tip distance from a reference tip-position array.
+
+        Campaign workers receive only the reference run's ``(n, 3)`` tip
+        array rather than its full trace, so the deviation label can be
+        computed without shipping whole traces between processes.
+        """
+        reference_tip = np.asarray(reference_tip, dtype=float)
+        n = min(len(self), len(reference_tip))
         if n == 0:
             return 0.0
         a = self.tip_array[:n]
-        b = other.tip_array[:n]
+        b = reference_tip[:n]
         return float(np.linalg.norm(a - b, axis=1).max())
 
     def estop_occurred(self) -> bool:

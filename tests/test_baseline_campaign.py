@@ -117,6 +117,7 @@ class TestCampaignResult:
 
 
 class TestParallelCampaign:
+    @pytest.mark.campaign
     def test_parallel_matches_serial(self, loose_thresholds):
         """workers>1 produces the same deterministic outcomes as serial."""
         from repro.attacks.campaign import CampaignRunner

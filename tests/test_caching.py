@@ -7,7 +7,11 @@ import pytest
 
 from repro.attacks.campaign import CampaignCell, CampaignResult, RunOutcome
 from repro.core.thresholds import SafetyThresholds
-from repro.experiments.calibration import get_thresholds, thresholds_cache_path
+from repro.experiments.calibration import (
+    get_thresholds,
+    thresholds_cache_path,
+    write_thresholds_cache,
+)
 from repro.experiments.campaigns import (
     _outcome_from_dict,
     _outcome_to_dict,
@@ -55,7 +59,7 @@ class TestThresholdCaching:
             motor_acceleration=np.full(3, 1e9),
             joint_velocity=np.full(3, 1e9),
         )
-        poisoned.save(path)
+        write_thresholds_cache(path, poisoned, TINY)
         refreshed = get_thresholds(TINY, cache_dir=tmp_path, force_retrain=True)
         assert np.all(refreshed.motor_velocity < 1e6)
 
@@ -67,9 +71,51 @@ class TestThresholdCaching:
             motor_acceleration=np.full(3, 1.0),
             joint_velocity=np.full(3, 1.0),
         )
-        marker.save(path)
+        write_thresholds_cache(path, marker, TINY)
         loaded = get_thresholds(TINY, cache_dir=tmp_path)
         assert loaded.motor_velocity[0] == 123.0
+
+    def test_legacy_unversioned_cache_invalidated(self, tmp_path):
+        """A raw (pre-engine) thresholds JSON is retrained, not trusted."""
+        path = thresholds_cache_path(TINY, tmp_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        legacy = SafetyThresholds(
+            motor_velocity=np.full(3, 123.0),
+            motor_acceleration=np.full(3, 1.0),
+            joint_velocity=np.full(3, 1.0),
+        )
+        legacy.save(path)  # legacy layout: bare to_dict(), no version
+        loaded = get_thresholds(TINY, cache_dir=tmp_path)
+        assert loaded.motor_velocity[0] != 123.0
+
+    def test_schema_mismatch_invalidated(self, tmp_path):
+        path = thresholds_cache_path(TINY, tmp_path)
+        marker = SafetyThresholds(
+            motor_velocity=np.full(3, 123.0),
+            motor_acceleration=np.full(3, 1.0),
+            joint_velocity=np.full(3, 1.0),
+        )
+        write_thresholds_cache(path, marker, TINY)
+        payload = json.loads(path.read_text())
+        payload["schema"] = -1
+        path.write_text(json.dumps(payload))
+        loaded = get_thresholds(TINY, cache_dir=tmp_path)
+        assert loaded.motor_velocity[0] != 123.0
+
+    def test_config_change_invalidated(self, tmp_path):
+        """Thresholds cached under different training settings retrain."""
+        import dataclasses
+
+        path = thresholds_cache_path(TINY, tmp_path)
+        marker = SafetyThresholds(
+            motor_velocity=np.full(3, 123.0),
+            motor_acceleration=np.full(3, 1.0),
+            joint_velocity=np.full(3, 1.0),
+        )
+        other = dataclasses.replace(TINY, training_duration_s=0.9)
+        write_thresholds_cache(path, marker, other)
+        loaded = get_thresholds(TINY, cache_dir=tmp_path)
+        assert loaded.motor_velocity[0] != 123.0
 
 
 class TestCampaignSerialization:
