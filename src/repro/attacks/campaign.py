@@ -329,15 +329,21 @@ class ParallelCampaignRunner(CampaignRunner):
        workers.
     """
 
-    def __init__(self, *args, jobs: Optional[int] = None, **kwargs) -> None:
+    def __init__(
+        self, *args, jobs: Optional[int] = None, injector=None, **kwargs
+    ) -> None:
         from repro.experiments.parallel import resolve_jobs
 
         super().__init__(*args, **kwargs)
         self.jobs = resolve_jobs(jobs)
+        #: Optional :class:`repro.testing.faults.ChaosInjector` threaded
+        #: into every worker fan-out (chaos tests only; ``None`` in
+        #: production, where the engine still honours ``REPRO_CHAOS_PLAN``).
+        self.injector = injector
 
     @classmethod
     def from_runner(
-        cls, runner: CampaignRunner, jobs: Optional[int] = None
+        cls, runner: CampaignRunner, jobs: Optional[int] = None, injector=None
     ) -> "ParallelCampaignRunner":
         """A parallel runner with the same configuration as ``runner``."""
         parallel = cls(
@@ -347,6 +353,7 @@ class ParallelCampaignRunner(CampaignRunner):
             attack_delay_cycles=runner.attack_delay_cycles,
             base_seed=runner.base_seed,
             jobs=jobs,
+            injector=injector,
         )
         parallel._progress = runner._progress
         parallel._references = runner._references
@@ -380,6 +387,7 @@ class ParallelCampaignRunner(CampaignRunner):
             jobs=self.jobs,
             progress=self._progress,
             label="reference warm-up",
+            injector=self.injector,
         ):
             self._references[seed] = tip
         return {s: self._references[s] for s in seeds}
@@ -414,6 +422,7 @@ class ParallelCampaignRunner(CampaignRunner):
                 jobs=self.jobs,
                 progress=self._progress,
                 label="campaign cells",
+                injector=self.injector,
             ),
         ):
             yield cell, outcomes
@@ -431,6 +440,7 @@ class ParallelCampaignRunner(CampaignRunner):
             jobs=self.jobs,
             progress=self._progress,
             label="fault-free runs",
+            injector=self.injector,
         ):
             outcomes.extend(batch)
         return outcomes

@@ -66,3 +66,33 @@ class DetectorError(ReproError):
 
 class SimulationError(ReproError):
     """Raised when the simulation rig is wired or driven incorrectly."""
+
+
+class ExecutionError(ReproError):
+    """Raised by the parallel execution engine (worker fan-out, caching)."""
+
+
+class TaskExecutionError(ExecutionError):
+    """A task failed every attempt the engine's retry policy allowed.
+
+    Carries the batch ``label``, the failing ``index`` within it, and the
+    number of ``attempts`` made, so campaign interrupts are attributable
+    to one grid cell.
+    """
+
+    def __init__(self, label: str, index: int, attempts: int, cause: BaseException):
+        super().__init__(
+            f"{label}[{index}] failed after {attempts} attempt(s): "
+            f"{type(cause).__name__}: {cause}"
+        )
+        self.label = label
+        self.index = index
+        self.attempts = attempts
+
+
+class CacheCorruptionError(ExecutionError):
+    """A cache file failed validation and could not be quarantined."""
+
+
+class ChaosFault(ExecutionError):
+    """An error injected deliberately by the fault-injection harness."""

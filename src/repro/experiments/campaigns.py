@@ -26,6 +26,7 @@ whole directory rather than silently poisoning Table IV / Figure 9.
 from __future__ import annotations
 
 import dataclasses
+import logging
 import shutil
 from pathlib import Path
 from typing import Dict, List, Optional
@@ -40,9 +41,12 @@ from repro.experiments.calibration import CACHE_DIR, get_thresholds
 from repro.experiments.parallel import (
     atomic_write_json,
     load_versioned_json,
+    quarantine_file,
     versioned_payload,
 )
 from repro.experiments.scale import Scale, current_scale
+
+logger = logging.getLogger(__name__)
 
 
 def _outcome_to_dict(outcome: RunOutcome) -> dict:
@@ -123,30 +127,49 @@ def campaign_config(scenario: str, scale: Scale, thresholds) -> dict:
 
 
 def _make_runner(
-    scale: Scale, thresholds, progress=None, jobs=None
+    scale: Scale, thresholds, progress=None, jobs=None, injector=None
 ) -> ParallelCampaignRunner:
     return ParallelCampaignRunner(
         thresholds,
         duration_s=scale.run_duration_s,
         progress=progress,
         jobs=jobs,
+        injector=injector,
     )
 
 
 def _load_shard_outcomes(path: Path, config: dict) -> Optional[List[RunOutcome]]:
+    """Outcomes from one shard, or ``None`` (with the bad file quarantined).
+
+    A shard that fails JSON parsing, schema/config validation, or its
+    body-integrity digest is moved into the directory's ``quarantine/``
+    subfolder — preserved as evidence, never re-read — and the caller
+    recomputes the cell.  Resume therefore survives truncated, bit-flipped,
+    and deleted shards with a correct, complete campaign result.
+    """
     payload = load_versioned_json(path, config)
     if payload is None or "outcomes" not in payload:
+        if path.exists():
+            logger.warning(
+                "campaign shard %s failed validation; quarantining and "
+                "recomputing its cell", path,
+            )
+            quarantine_file(path)
         return None
     return [_outcome_from_dict(d) for d in payload["outcomes"]]
 
 
-def _write_shard(path: Path, config: dict, outcomes: List[RunOutcome]) -> None:
+def _write_shard(
+    path: Path, config: dict, outcomes: List[RunOutcome], injector=None
+) -> None:
     atomic_write_json(
         path,
         versioned_payload(
             config, {"outcomes": [_outcome_to_dict(o) for o in outcomes]}
         ),
     )
+    if injector is not None:
+        injector.on_file_written(path)
 
 
 def get_campaign(
@@ -156,15 +179,21 @@ def get_campaign(
     force_rerun: bool = False,
     progress=None,
     jobs: Optional[int] = None,
+    injector=None,
 ) -> CampaignResult:
     """Load, resume, or execute the campaign for ``scenario`` at ``scale``.
 
     Only the cells without a valid cache shard execute (fanned out over
     ``jobs`` worker processes, default ``REPRO_JOBS``); each finished
     cell is checkpointed immediately, so interrupting and re-invoking
-    continues where the previous run stopped.  The merged outcome list is
-    identical to one serial :class:`CampaignRunner` sweep regardless of
-    worker count or how many resume round-trips it took.
+    continues where the previous run stopped.  Shards that fail JSON or
+    version/integrity validation are quarantined and recomputed rather
+    than trusted or crashed on.  The merged outcome list is identical to
+    one serial :class:`CampaignRunner` sweep regardless of worker count
+    or how many resume round-trips it took.
+
+    ``injector`` threads a :class:`repro.testing.faults.ChaosInjector`
+    into both the worker fan-out and the shard writes (chaos tests only).
     """
     if scenario not in ("A", "B"):
         raise ValueError("scenario must be 'A' or 'B'")
@@ -188,8 +217,10 @@ def get_campaign(
                 config, {"grid": config["errors"], "periods": config["periods_ms"]}
             ),
         )
+        if injector is not None:
+            injector.on_file_written(meta_path)
 
-    runner = _make_runner(scale, thresholds, progress, jobs)
+    runner = _make_runner(scale, thresholds, progress, jobs, injector)
     cells = runner.plan_cells(
         scenario,
         error_values=config["errors"],
@@ -214,7 +245,9 @@ def get_campaign(
         ):
             index = index_of[cell]
             per_cell[index] = outcomes
-            _write_shard(_cell_shard_path(shard_dir, index), config, outcomes)
+            _write_shard(
+                _cell_shard_path(shard_dir, index), config, outcomes, injector
+            )
 
     ff_path = _fault_free_shard_path(shard_dir)
     fault_free = _load_shard_outcomes(ff_path, config)
@@ -223,7 +256,7 @@ def get_campaign(
         if ff_runs <= 0:
             ff_runs = runner.default_fault_free_runs(cells, scale.repetitions)
         fault_free = runner.run_fault_free_batch(runner.fault_free_seeds(ff_runs))
-        _write_shard(ff_path, config, fault_free)
+        _write_shard(ff_path, config, fault_free, injector)
 
     result = CampaignResult(scenario=scenario)
     for index in range(len(cells)):

@@ -12,14 +12,29 @@ safely:
 - :func:`iter_tasks` / :func:`run_tasks` — deterministic-order map over a
   :class:`~concurrent.futures.ProcessPoolExecutor` that degrades to a
   plain in-process loop when one job is requested, so parallel results
-  are bit-identical to serial ones by construction;
+  are bit-identical to serial ones by construction.  Each task gets a
+  bounded retry budget with exponential backoff (``REPRO_TASK_RETRIES``,
+  ``REPRO_TASK_BACKOFF_S``) and an optional per-task deadline
+  (``REPRO_TASK_TIMEOUT_S``); a dead worker pool degrades the remaining
+  tasks to serial in-process execution instead of aborting the campaign,
+  and a task that exhausts its budget raises a typed
+  :class:`~repro.errors.TaskExecutionError`;
 - :func:`atomic_write_text` / :func:`atomic_write_json` — temp file +
   ``os.replace`` writes, so an interrupt can never leave a half-written
   cache file behind;
 - versioned cache payloads (:func:`versioned_payload`,
   :func:`load_versioned_json`) keyed by a fingerprint of everything the
-  cached data depends on, so stale caches invalidate instead of silently
-  poisoning later artifacts.
+  cached data depends on *and* a digest of the payload body itself, so
+  stale caches invalidate and silent bit corruption is detected instead
+  of poisoning later artifacts.  :func:`quarantine_file` moves an invalid
+  cache file aside so the caller can recompute its cell.
+
+Fault injection hooks into exactly one seam: when the
+``REPRO_CHAOS_PLAN`` environment variable (or an explicit ``injector=``
+argument) is present, workers are wrapped by
+:class:`repro.testing.faults.ChaosInjector`; otherwise the engine never
+imports the chaos machinery and production paths pay a single
+``os.environ`` lookup.
 
 The module deliberately imports nothing from the simulator: worker
 functions live next to the code they execute (``repro.attacks.campaign``,
@@ -30,14 +45,17 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 from typing import (
     Any,
     Callable,
-    Iterable,
     Iterator,
     List,
     Optional,
@@ -46,17 +64,29 @@ from typing import (
     Union,
 )
 
+from repro.errors import CacheCorruptionError, TaskExecutionError
+
+logger = logging.getLogger(__name__)
+
 #: Version of the on-disk cache layout.  Bump when the shape of cached
 #: payloads (outcome fields, shard layout, threshold payloads) changes;
 #: every cache written under a different version is invalidated on read.
-SCHEMA_VERSION = 2
+#: v3 added the ``body_sha256`` integrity digest.
+SCHEMA_VERSION = 3
+
+#: Default per-task retry budget (attempts = retries + 1).
+DEFAULT_TASK_RETRIES = 1
+
+#: Default base backoff between attempts; doubles per retry, capped.
+DEFAULT_TASK_BACKOFF_S = 0.05
+BACKOFF_CAP_S = 2.0
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
 
 
 # ---------------------------------------------------------------------------
-# Worker-count policy
+# Worker-count / retry policy
 # ---------------------------------------------------------------------------
 
 
@@ -86,9 +116,60 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return default_jobs()
 
 
+def _env_number(var: str, parse: Callable[[str], _T]) -> Optional[_T]:
+    raw = os.environ.get(var, "").strip()
+    if not raw:
+        return None
+    try:
+        return parse(raw)
+    except ValueError:
+        raise ValueError(f"{var} must be a number, got {raw!r}") from None
+
+
+def resolve_retries(retries: Optional[int] = None) -> int:
+    """Per-task retry budget: explicit, ``REPRO_TASK_RETRIES``, or 1."""
+    if retries is None:
+        retries = _env_number("REPRO_TASK_RETRIES", int)
+    return DEFAULT_TASK_RETRIES if retries is None else max(0, int(retries))
+
+
+def resolve_backoff_s(backoff_s: Optional[float] = None) -> float:
+    """Base retry backoff: explicit, ``REPRO_TASK_BACKOFF_S``, or 50 ms."""
+    if backoff_s is None:
+        backoff_s = _env_number("REPRO_TASK_BACKOFF_S", float)
+    return DEFAULT_TASK_BACKOFF_S if backoff_s is None else max(0.0, float(backoff_s))
+
+
+def resolve_timeout_s(timeout_s: Optional[float] = None) -> Optional[float]:
+    """Per-task deadline: explicit, ``REPRO_TASK_TIMEOUT_S``, or none."""
+    if timeout_s is None:
+        timeout_s = _env_number("REPRO_TASK_TIMEOUT_S", float)
+    if timeout_s is None or timeout_s <= 0:
+        return None
+    return float(timeout_s)
+
+
+def _injector_from_env():
+    """The ambient chaos injector, or ``None`` on production paths.
+
+    Deferred import: without ``REPRO_CHAOS_PLAN`` set the chaos subsystem
+    is never imported and this is one dictionary lookup.
+    """
+    if not os.environ.get("REPRO_CHAOS_PLAN", "").strip():
+        return None
+    from repro.testing.faults import ChaosInjector
+
+    return ChaosInjector.from_env()
+
+
 # ---------------------------------------------------------------------------
-# Deterministic parallel map
+# Deterministic parallel map with bounded retries
 # ---------------------------------------------------------------------------
+
+
+def _backoff(backoff_s: float, attempt: int) -> None:
+    if backoff_s > 0:
+        time.sleep(min(BACKOFF_CAP_S, backoff_s * (2 ** (attempt - 1))))
 
 
 def iter_tasks(
@@ -97,6 +178,10 @@ def iter_tasks(
     jobs: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
     label: str = "tasks",
+    retries: Optional[int] = None,
+    backoff_s: Optional[float] = None,
+    timeout_s: Optional[float] = None,
+    injector=None,
 ) -> Iterator[_R]:
     """Yield ``worker(task)`` for every task, **in task order**.
 
@@ -106,21 +191,112 @@ def iter_tasks(
     the same sequence either way and merged results are bit-identical.
     Results stream out as they become available, which lets callers
     checkpoint (e.g. write a cache shard) after every task.
+
+    Failure policy (identical serial and parallel):
+
+    - a task that raises is retried up to ``retries`` times with
+      exponentially backed-off sleeps; exhausting the budget raises
+      :class:`~repro.errors.TaskExecutionError` (results already yielded
+      — and any shards the caller checkpointed — survive the interrupt);
+    - with a ``timeout_s`` deadline, a hung task counts as one failed
+      attempt and is resubmitted;
+    - a dead worker pool (e.g. a SIGKILLed worker) flips the remaining
+      tasks to serial in-process execution rather than aborting.
+
+    ``injector`` (or the ``REPRO_CHAOS_PLAN`` environment variable)
+    installs a :class:`~repro.testing.faults.ChaosInjector` around the
+    worker for fault-injection testing.
     """
     tasks = list(tasks)
     jobs = resolve_jobs(jobs)
     total = len(tasks)
+    retries = resolve_retries(retries)
+    backoff_s = resolve_backoff_s(backoff_s)
+    timeout_s = resolve_timeout_s(timeout_s)
+    if injector is None:
+        injector = _injector_from_env()
+    chaos = injector is not None and injector.wants_task_faults
+    call = injector.wrap(worker) if chaos else worker
+
+    def submit_arg(index: int, attempt: int):
+        return (index, attempt, tasks[index]) if chaos else tasks[index]
+
+    def invoke(index: int, attempt: int) -> _R:
+        return call(submit_arg(index, attempt))
+
+    def serial_attempts(index: int, first_attempt: int = 0) -> _R:
+        attempt = first_attempt
+        while True:
+            try:
+                return invoke(index, attempt)
+            except Exception as exc:  # noqa: BLE001 — typed re-raise below
+                attempt += 1
+                if attempt > retries:
+                    raise TaskExecutionError(label, index, attempt, exc) from exc
+                logger.warning(
+                    "%s[%d] attempt %d failed (%s: %s); retrying",
+                    label, index, attempt, type(exc).__name__, exc,
+                )
+                _backoff(backoff_s, attempt)
+
     if jobs == 1 or total <= 1:
-        for i, task in enumerate(tasks):
-            yield worker(task)
+        for i in range(total):
+            yield serial_attempts(i)
             if progress:
                 progress(f"{label}: {i + 1}/{total} done (serial)")
         return
-    with ProcessPoolExecutor(max_workers=min(jobs, total)) as pool:
-        for i, result in enumerate(pool.map(worker, tasks)):
+
+    pool = ProcessPoolExecutor(max_workers=min(jobs, total))
+    broken = False
+    try:
+        futures = [
+            pool.submit(call, submit_arg(i, 0)) for i in range(total)
+        ]
+        for i in range(total):
+            future = futures[i]
+            attempt = 0
+            while True:
+                if broken:
+                    result = serial_attempts(i, first_attempt=attempt)
+                    break
+                try:
+                    result = future.result(timeout=timeout_s)
+                    break
+                except FuturesTimeout as exc:
+                    future.cancel()
+                    err: BaseException = exc
+                except BrokenProcessPool as exc:
+                    broken = True
+                    logger.warning(
+                        "%s: worker pool died at task %d (%s); "
+                        "degrading to serial execution", label, i, exc,
+                    )
+                    if progress:
+                        progress(
+                            f"{label}: worker pool died; continuing serially"
+                        )
+                    err = exc
+                except Exception as exc:  # noqa: BLE001 — typed re-raise below
+                    err = exc
+                attempt += 1
+                if attempt > retries:
+                    raise TaskExecutionError(label, i, attempt, err) from err
+                if not broken:
+                    logger.warning(
+                        "%s[%d] attempt %d failed (%s: %s); retrying",
+                        label, i, attempt, type(err).__name__, err,
+                    )
+                    _backoff(backoff_s, attempt)
+                    try:
+                        future = pool.submit(call, submit_arg(i, attempt))
+                    except Exception:  # pool shut down between checks
+                        broken = True
             yield result
             if progress:
-                progress(f"{label}: {i + 1}/{total} done ({jobs} jobs)")
+                mode = "serial fallback" if broken else f"{jobs} jobs"
+                progress(f"{label}: {i + 1}/{total} done ({mode})")
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
 
 
 def run_tasks(
@@ -129,9 +305,14 @@ def run_tasks(
     jobs: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
     label: str = "tasks",
+    **policy: Any,
 ) -> List[_R]:
     """Like :func:`iter_tasks` but collects the results into a list."""
-    return list(iter_tasks(worker, tasks, jobs=jobs, progress=progress, label=label))
+    return list(
+        iter_tasks(
+            worker, tasks, jobs=jobs, progress=progress, label=label, **policy
+        )
+    )
 
 
 def chunked(items: Sequence[_T], chunks: int) -> List[List[_T]]:
@@ -183,8 +364,11 @@ def atomic_write_json(path: Union[str, Path], payload: Any, indent: int = 1) -> 
 
 
 # ---------------------------------------------------------------------------
-# Versioned cache payloads
+# Versioned, integrity-checked cache payloads
 # ---------------------------------------------------------------------------
+
+#: Envelope keys; everything else in a payload is its body.
+_RESERVED_KEYS = ("schema", "config", "body_sha256")
 
 
 def config_fingerprint(config: dict) -> str:
@@ -193,35 +377,86 @@ def config_fingerprint(config: dict) -> str:
     return hashlib.sha256(canonical.encode()).hexdigest()[:16]
 
 
+def _body_digest(body: dict) -> str:
+    """Digest of a JSON-native payload body, key-order independent."""
+    canonical = json.dumps(body, sort_keys=True)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
 def versioned_payload(config: dict, body: dict) -> dict:
-    """Wrap ``body`` with the schema version and config fingerprint."""
+    """Wrap ``body`` with schema version, config fingerprint, and a body
+    integrity digest (so bit corruption of the data is detected on read,
+    not just torn envelopes)."""
+    # Round-trip normalizes to JSON-native types (tuples become lists)
+    # so the digest computed here matches one recomputed after reload.
+    body = json.loads(json.dumps(body))
     return {
         "schema": SCHEMA_VERSION,
         "config": config_fingerprint(config),
+        "body_sha256": _body_digest(body),
         **body,
     }
 
 
 def payload_is_current(payload: Any, config: dict) -> bool:
-    """Whether a loaded payload matches this schema and ``config``."""
-    return (
+    """Whether a loaded payload matches this schema, ``config``, and its
+    own body digest."""
+    if not (
         isinstance(payload, dict)
         and payload.get("schema") == SCHEMA_VERSION
         and payload.get("config") == config_fingerprint(config)
-    )
+    ):
+        return False
+    body = {k: v for k, v in payload.items() if k not in _RESERVED_KEYS}
+    return payload.get("body_sha256") == _body_digest(body)
 
 
 def load_versioned_json(path: Union[str, Path], config: dict) -> Optional[dict]:
     """Load ``path`` if it exists, parses, and matches ``config``.
 
-    Unreadable, corrupt, unversioned (legacy), or mismatched payloads all
-    return ``None`` — the caller recomputes instead of trusting them.
+    Unreadable, corrupt (truncated or bit-flipped), unversioned (legacy),
+    or mismatched payloads all log a warning and return ``None`` — the
+    caller recomputes instead of trusting them, and resume never crashes
+    on a damaged cache file.
     """
     path = Path(path)
     if not path.exists():
         return None
     try:
         payload = json.loads(path.read_text())
-    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError, ValueError) as exc:
+        logger.warning(
+            "cache file %s is unreadable or corrupt (%s: %s); "
+            "it will be recomputed", path, type(exc).__name__, exc,
+        )
         return None
-    return payload if payload_is_current(payload, config) else None
+    if not payload_is_current(payload, config):
+        logger.warning(
+            "cache file %s is stale or fails integrity/config validation; "
+            "it will be recomputed", path,
+        )
+        return None
+    return payload
+
+
+def quarantine_file(path: Union[str, Path]) -> Optional[Path]:
+    """Move an invalid cache file into a sibling ``quarantine/`` directory.
+
+    Keeps the evidence for post-mortems while guaranteeing the engine
+    never re-reads (or re-trusts) the damaged file.  Returns the new
+    location, or ``None`` if the file had already vanished.  Raises
+    :class:`~repro.errors.CacheCorruptionError` if the move itself fails.
+    """
+    path = Path(path)
+    if not path.exists():
+        return None
+    target = path.parent / "quarantine" / path.name
+    try:
+        target.parent.mkdir(parents=True, exist_ok=True)
+        os.replace(path, target)
+    except OSError as exc:
+        raise CacheCorruptionError(
+            f"could not quarantine invalid cache file {path}: {exc}"
+        ) from exc
+    logger.warning("quarantined invalid cache file %s -> %s", path, target)
+    return target

@@ -179,6 +179,7 @@ def train_thresholds(
     base_seed: int = 10_000,
     jobs: int = 1,
     progress=None,
+    injector=None,
 ) -> SafetyThresholds:
     """Learn detection thresholds from fault-free runs.
 
@@ -190,7 +191,9 @@ def train_thresholds(
 
     ``jobs > 1`` fans the independent runs out over that many worker
     processes; samples merge in seed order, so the fitted thresholds are
-    bit-identical to a serial run.
+    bit-identical to a serial run.  ``injector`` threads a
+    :class:`repro.testing.faults.ChaosInjector` into the fan-out so the
+    chaos suite can exercise the calibration path too.
     """
     kwargs = {} if percentile is None else {"percentile": percentile}
     learner = ThresholdLearner(margin=margin, **kwargs)
@@ -218,6 +221,7 @@ def train_thresholds(
             jobs=jobs,
             progress=progress,
             label="threshold training",
+            injector=injector,
         )
     for batch in batches:
         learner.observe_run(**batch)

@@ -169,6 +169,43 @@ class RunTrace:
         down = sum(1 for s in self.states if s is RobotState.PEDAL_DOWN)
         return down / len(self.states)
 
+    def fingerprint(self) -> dict:
+        """Bit-exact, JSON-native digest of the run for golden-trace tests.
+
+        Every per-cycle array is hashed over its raw float64 bytes, so two
+        runs compare equal **iff** they are bit-identical — the contract
+        the golden regression suite pins across serial vs parallel
+        execution, fresh vs resumed campaigns, and platforms.  Scalar
+        floats are recorded as ``float.hex()`` so no precision is lost to
+        decimal formatting.
+        """
+        import hashlib
+
+        def digest(arr: np.ndarray) -> str:
+            arr = np.ascontiguousarray(arr, dtype=np.float64)
+            return hashlib.sha256(arr.tobytes()).hexdigest()[:16]
+
+        states = "".join(s.value for s in self.states)
+        return {
+            "cycles": len(self),
+            "dt_hex": float(self.dt).hex(),
+            "states_sha256": hashlib.sha256(states.encode()).hexdigest()[:16],
+            "tip_sha256": digest(self.tip_array),
+            "pos_d_sha256": digest(
+                np.vstack(self.pos_d) if self.pos_d else np.empty((0, 3))
+            ),
+            "jpos_sha256": digest(self.jpos_array),
+            "jvel_sha256": digest(self.jvel_array),
+            "mpos_sha256": digest(self.mpos_array),
+            "dac_sha256": digest(self.dac_array),
+            "safety_trip_cycles": list(map(int, self.safety_trip_cycles)),
+            "detector_alert_cycles": list(map(int, self.detector_alert_cycles)),
+            "estop_reasons": list(self.estop_reasons),
+            "attack_first_cycle": self.attack_first_cycle,
+            "attack_activations": int(self.attack_activations),
+            "max_jump_mm_hex": float(self.max_jump() * 1e3).hex(),
+        }
+
     # -- persistence ---------------------------------------------------------------
 
     def save(self, path) -> None:

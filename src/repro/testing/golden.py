@@ -1,0 +1,107 @@
+"""Golden-trace fingerprints and the differential regression store.
+
+A *golden trace* is a small, canonical simulation output pinned as a
+JSON fingerprint under ``tests/golden/``.  Fingerprints hash the raw
+float64 bytes of every per-cycle array
+(:meth:`repro.sim.trace.RunTrace.fingerprint`) or the canonical JSON of
+every campaign outcome (:func:`campaign_fingerprint`), so two runs match
+**iff** they are bit-identical.  The suite uses one golden per scenario
+to assert three differential invariants at once:
+
+- serial vs parallel execution produce the same bytes;
+- a fresh campaign and one resumed from an interrupt produce the same
+  bytes;
+- today's code produces the same bytes as the commit that recorded the
+  golden (Euler vs itself, across platforms).
+
+``pytest --update-golden`` re-records every golden a test touches —
+review the diff like any other code change, because it *is* the result
+changing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, Sequence
+
+
+def canonical_json_digest(obj: Any) -> str:
+    """Short digest of ``obj``'s canonical (sorted-key) JSON form."""
+    canonical = json.dumps(obj, sort_keys=True)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def outcomes_fingerprint(outcomes: Sequence[Any]) -> Dict[str, Any]:
+    """Order-sensitive digest of a list of campaign :class:`RunOutcome`.
+
+    Uses the cache layer's own serialization, so the fingerprint covers
+    exactly the fields Table IV / Figure 9 are computed from, and float
+    values round-trip bit-exactly through ``repr``.
+    """
+    from repro.experiments.campaigns import _outcome_to_dict
+
+    dicts = [_outcome_to_dict(o) for o in outcomes]
+    return {
+        "runs": len(dicts),
+        "outcomes_sha256": canonical_json_digest(dicts),
+    }
+
+
+def campaign_fingerprint(result: Any) -> Dict[str, Any]:
+    """Fingerprint of one :class:`CampaignResult` (scenario + outcomes)."""
+    fp = {"scenario": result.scenario}
+    fp.update(outcomes_fingerprint(result.outcomes))
+    return fp
+
+
+class GoldenStore:
+    """Loads, compares, and (on request) re-records golden fingerprints.
+
+    ``check(name, actual)`` is the whole API surface a test needs: it
+    fails with a field-by-field diff when ``actual`` drifts from the
+    stored golden, and rewrites the golden instead when the store was
+    opened with ``update=True`` (the ``--update-golden`` pytest flag).
+    """
+
+    def __init__(self, directory: Path, update: bool = False) -> None:
+        self.directory = Path(directory)
+        self.update = update
+
+    def path(self, name: str) -> Path:
+        return self.directory / f"{name}.json"
+
+    def load(self, name: str) -> Dict[str, Any]:
+        return json.loads(self.path(name).read_text())
+
+    def save(self, name: str, data: Dict[str, Any]) -> Path:
+        path = self.path(name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(data, indent=1, sort_keys=True) + "\n")
+        return path
+
+    def check(self, name: str, actual: Dict[str, Any]) -> None:
+        """Assert ``actual`` matches the stored golden (or re-record it)."""
+        path = self.path(name)
+        if self.update:
+            self.save(name, actual)
+            return
+        if not path.exists():
+            raise AssertionError(
+                f"golden {path} does not exist; record it with "
+                f"`pytest --update-golden` and commit the file"
+            )
+        expected = self.load(name)
+        if actual == expected:
+            return
+        lines = [f"golden trace {name!r} drifted:"]
+        for key in sorted(set(expected) | set(actual)):
+            want, got = expected.get(key, "<absent>"), actual.get(key, "<absent>")
+            if want != got:
+                lines.append(f"  {key}: golden={want!r} actual={got!r}")
+        lines.append(
+            "if the change is intentional, re-record with "
+            "`pytest --update-golden` and commit the diff"
+        )
+        raise AssertionError("\n".join(lines))

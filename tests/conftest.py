@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -10,6 +12,27 @@ from repro.dynamics.manipulator import ManipulatorDynamics
 from repro.dynamics.plant import RavenPlant
 from repro.kinematics.spherical_arm import SphericalArm
 from repro.kinematics.workspace import Workspace
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="re-record golden trace fingerprints instead of comparing; "
+        "review and commit the resulting diff under tests/golden/",
+    )
+
+
+@pytest.fixture
+def golden(request):
+    """The golden-trace store under ``tests/golden/``."""
+    from repro.testing.golden import GoldenStore
+
+    return GoldenStore(
+        Path(__file__).parent / "golden",
+        update=request.config.getoption("--update-golden"),
+    )
 
 
 @pytest.fixture

@@ -1,0 +1,182 @@
+"""Chaos tests for the sharded campaign cache and campaign-level recovery.
+
+Each test injects one fault class into a real (tiny) campaign and
+asserts the acceptance contract: the fault ends in a **correct, complete
+campaign result** — bit-identical to an undisturbed run — or, when the
+fault is made unrecoverable on purpose, in a clean typed error whose
+resume is bit-identical.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.campaign import CampaignRunner
+from repro.errors import TaskExecutionError
+from repro.experiments.campaigns import campaign_cache_path, get_campaign
+from repro.experiments.scale import Scale
+from repro.testing import ChaosInjector, FaultPlan, FaultSpec, campaign_fingerprint
+from repro.testing.faults import ALWAYS
+
+pytestmark = [pytest.mark.chaos, pytest.mark.campaign]
+
+TINY = Scale(
+    name="tiny-chaos",
+    training_runs=1,
+    training_duration_s=0.7,
+    errors_a_mm=(0.1,),
+    errors_b_dac=(26000,),
+    periods_ms=(16, 64),
+    repetitions=1,
+    fault_free_runs=1,
+    run_duration_s=0.7,
+    validation_runs=1,
+    validation_duration_s=0.7,
+    syscall_samples=10,
+    capture_runs=1,
+    capture_duration_s=0.7,
+)
+
+
+def _get(tmp_path, jobs=1, **kwargs):
+    return get_campaign("B", TINY, cache_dir=tmp_path, jobs=jobs, **kwargs)
+
+
+def _injector(*specs):
+    return ChaosInjector(FaultPlan(list(specs)))
+
+
+class TestShardCorruption:
+    """Damaged shards are quarantined and recomputed, never trusted."""
+
+    def _assert_recovers(self, tmp_path, damage, expect_quarantine=True):
+        first = _get(tmp_path)
+        shard_dir = campaign_cache_path("B", TINY, tmp_path)
+        shard = shard_dir / "cell_0000.json"
+        damage(shard)
+        recovered = _get(tmp_path)
+        assert recovered.outcomes == first.outcomes
+        assert shard.exists()  # the recomputed cell re-checkpointed
+        # The damaged file was preserved as evidence, not re-read.
+        assert (shard_dir / "quarantine" / shard.name).exists() == expect_quarantine
+
+    def test_truncated_shard(self, tmp_path):
+        def truncate(shard):
+            data = shard.read_bytes()
+            shard.write_bytes(data[: len(data) // 2])
+
+        self._assert_recovers(tmp_path, truncate)
+
+    def test_bit_flipped_payload(self, tmp_path):
+        # Flip one bit deep inside the outcomes body: the JSON still
+        # parses and the envelope is intact, so only the body-integrity
+        # digest can catch it.
+        def bitflip(shard):
+            data = bytearray(shard.read_bytes())
+            target = next(
+                i for i in range(len(data) // 2, len(data))
+                if chr(data[i]).isdigit()
+            )
+            data[target] ^= 0x01  # e.g. '4' <-> '5': still valid JSON
+            shard.write_bytes(bytes(data))
+
+        self._assert_recovers(tmp_path, bitflip)
+
+    def test_shard_deleted(self, tmp_path):
+        self._assert_recovers(
+            tmp_path, lambda shard: shard.unlink(), expect_quarantine=False
+        )
+
+    def test_stale_meta_invalidates_and_recomputes(self, tmp_path, monkeypatch):
+        # The injector stamps a stale schema version onto meta.json the
+        # moment it is written; the next call must invalidate the whole
+        # directory and still produce the same campaign.
+        inj = _injector(FaultSpec(kind="stale_meta", match="meta.json"))
+        first = _get(tmp_path, injector=inj)
+
+        reran = []
+        original = CampaignRunner.run_cell_once
+
+        def counting(self, cell, seed):
+            reran.append(cell.period_ms)
+            return original(self, cell, seed)
+
+        monkeypatch.setattr(CampaignRunner, "run_cell_once", counting)
+        again = _get(tmp_path)
+        assert again.outcomes == first.outcomes
+        assert sorted(reran) == [16, 64]  # every cell re-ran
+
+    def test_shard_deleted_mid_run_by_injector(self, tmp_path):
+        # A shard vanishes right after its checkpoint write: the running
+        # campaign still returns a complete result (outcomes are merged
+        # in memory), and the next resume recomputes only the lost cell.
+        inj = _injector(FaultSpec(kind="delete", match="cell_0001.json"))
+        first = _get(tmp_path, injector=inj)
+        shard_dir = campaign_cache_path("B", TINY, tmp_path)
+        assert not (shard_dir / "cell_0001.json").exists()
+        assert len(first.outcomes) == 3  # 2 cells x 1 rep + 1 fault-free
+        resumed = _get(tmp_path)
+        assert resumed.outcomes == first.outcomes
+        assert (shard_dir / "cell_0001.json").exists()
+
+    def test_truncate_fault_via_injector_then_resume(self, tmp_path):
+        inj = _injector(FaultSpec(kind="truncate", match="cell_0000.json"))
+        first = _get(tmp_path, injector=inj)
+        resumed = _get(tmp_path)
+        assert resumed.outcomes == first.outcomes
+
+
+class TestCampaignFaultTolerance:
+    """Worker-level faults during a campaign's fan-out."""
+
+    def test_task_exception_retried_campaign_completes(self, tmp_path, tmp_path_factory):
+        inj = _injector(FaultSpec(kind="raise", index=0, times=1))
+        chaotic = _get(tmp_path, jobs=2, injector=inj)
+        clean = _get(tmp_path_factory.mktemp("clean"))
+        assert chaotic.outcomes == clean.outcomes
+
+    def test_worker_crash_mid_campaign_then_resume_bit_identical(
+        self, tmp_path, tmp_path_factory, monkeypatch
+    ):
+        """The satellite crash-recovery contract: SIGKILL a worker
+        mid-campaign, let the run die, and assert the resumed run is
+        bit-identical to an uninterrupted serial run."""
+        monkeypatch.setenv("REPRO_TASK_RETRIES", "0")  # crash is fatal
+        inj = _injector(FaultSpec(kind="crash", index=1, times=ALWAYS))
+        with pytest.raises(TaskExecutionError):
+            _get(tmp_path, jobs=2, injector=inj)
+
+        # Resume without chaos (and with the default retry budget).
+        monkeypatch.delenv("REPRO_TASK_RETRIES")
+        resumed = _get(tmp_path, jobs=2)
+
+        serial = _get(tmp_path_factory.mktemp("serial"), jobs=1)
+        assert resumed.outcomes == serial.outcomes
+        assert campaign_fingerprint(resumed) == campaign_fingerprint(serial)
+
+    def test_crash_with_retry_budget_degrades_and_completes(
+        self, tmp_path, tmp_path_factory
+    ):
+        # One SIGKILL, default retry budget: the pool dies, the engine
+        # degrades to serial, and the campaign result is still correct.
+        inj = _injector(FaultSpec(kind="crash", index=0, times=1))
+        chaotic = _get(tmp_path, jobs=2, injector=inj)
+        clean = _get(tmp_path_factory.mktemp("clean2"))
+        assert chaotic.outcomes == clean.outcomes
+
+
+class TestThresholdCacheCorruption:
+    def test_corrupt_thresholds_cache_retrains(self, tmp_path):
+        from repro.experiments.calibration import (
+            get_thresholds,
+            thresholds_cache_path,
+        )
+
+        first = get_thresholds(TINY, cache_dir=tmp_path)
+        path = thresholds_cache_path(TINY, tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        import numpy as np
+
+        again = get_thresholds(TINY, cache_dir=tmp_path)
+        assert np.array_equal(again.motor_velocity, first.motor_velocity)

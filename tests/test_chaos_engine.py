@@ -1,0 +1,201 @@
+"""Fault-injection tests for the execution engine itself.
+
+Every injected fault class must end in one of exactly two outcomes:
+
+- a **correct completed result** — identical to a fault-free run — when
+  the retry budget / serial degradation can absorb the fault, or
+- a **clean typed error** (:class:`~repro.errors.TaskExecutionError`)
+  when it can't.
+
+Silent drops, reordered results, or raw ``BrokenProcessPool`` escapes
+are all failures of the engine, not of the test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ChaosFault, ExecutionError, TaskExecutionError
+from repro.experiments import parallel as engine
+from repro.testing import ChaosInjector, FaultPlan, FaultSpec
+from repro.testing.faults import ALWAYS
+
+pytestmark = pytest.mark.chaos
+
+
+def _square(x):
+    return x * x
+
+
+def _injector(*specs):
+    return ChaosInjector(FaultPlan(list(specs)))
+
+
+class TestFaultPlan:
+    def test_task_fault_attempt_window(self):
+        plan = FaultPlan([FaultSpec(kind="raise", index=2, times=2)])
+        assert plan.task_fault(2, 0) is not None
+        assert plan.task_fault(2, 1) is not None
+        assert plan.task_fault(2, 2) is None  # budget spent: retry succeeds
+        assert plan.task_fault(1, 0) is None  # other tasks untouched
+
+    def test_always_never_stops_firing(self):
+        plan = FaultPlan([FaultSpec(kind="raise", index=0, times=ALWAYS)])
+        assert all(plan.task_fault(0, attempt) for attempt in range(10))
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="raise")  # task fault without an index
+        with pytest.raises(ValueError):
+            FaultSpec(kind="truncate")  # cache fault without a match
+        with pytest.raises(ValueError):
+            FaultSpec(kind="meteor", index=0)
+
+    def test_random_plan_is_deterministic(self):
+        a = FaultPlan.random_task_faults(seed=7, n_tasks=50, rate=0.3)
+        b = FaultPlan.random_task_faults(seed=7, n_tasks=50, rate=0.3)
+        assert a.specs == b.specs
+        assert a.specs != FaultPlan.random_task_faults(8, 50, 0.3).specs
+
+    def test_json_roundtrip(self, tmp_path):
+        plan = FaultPlan(
+            [
+                FaultSpec(kind="crash", index=3, times=ALWAYS),
+                FaultSpec(kind="bitflip", match="cell_*.json"),
+            ],
+            seed=42,
+        )
+        path = plan.save(tmp_path / "plan.json")
+        assert FaultPlan.load(path) == plan
+
+
+class TestSerialFaults:
+    def test_raise_fault_retried_to_success(self):
+        inj = _injector(FaultSpec(kind="raise", index=1, times=1))
+        out = engine.run_tasks(
+            _square, [1, 2, 3], jobs=1, injector=inj, retries=1, backoff_s=0
+        )
+        assert out == [1, 4, 9]
+
+    def test_exhausted_retries_raise_typed_error(self):
+        inj = _injector(FaultSpec(kind="raise", index=1, times=ALWAYS))
+        with pytest.raises(TaskExecutionError) as err:
+            engine.run_tasks(
+                _square, [1, 2, 3], jobs=1, injector=inj, retries=2, backoff_s=0
+            )
+        assert err.value.index == 1
+        assert err.value.attempts == 3
+        assert err.value.label == "tasks"
+        assert isinstance(err.value, ExecutionError)
+        assert isinstance(err.value.__cause__, ChaosFault)
+
+    def test_crash_in_parent_downgrades_to_raise(self):
+        # A crash fault executing in the test process must never SIGKILL
+        # it; serially it behaves as an ordinary retryable exception.
+        inj = _injector(FaultSpec(kind="crash", index=0, times=1))
+        out = engine.run_tasks(
+            _square, [5], jobs=1, injector=inj, retries=1, backoff_s=0
+        )
+        assert out == [25]
+
+    def test_results_already_yielded_survive_interrupt(self):
+        inj = _injector(FaultSpec(kind="raise", index=2, times=ALWAYS))
+        seen = []
+        with pytest.raises(TaskExecutionError):
+            for result in engine.iter_tasks(
+                _square, [1, 2, 3, 4], jobs=1, injector=inj, retries=0, backoff_s=0
+            ):
+                seen.append(result)
+        assert seen == [1, 4]  # the valid prefix checkpoints intact
+
+
+class TestParallelFaults:
+    def test_raise_fault_in_worker_retried(self):
+        inj = _injector(FaultSpec(kind="raise", index=3, times=1))
+        out = engine.run_tasks(
+            _square, list(range(8)), jobs=2, injector=inj, retries=1, backoff_s=0
+        )
+        assert out == [x * x for x in range(8)]
+
+    def test_worker_crash_degrades_to_serial_and_completes(self):
+        # SIGKILL kills one worker -> the pool breaks -> the engine must
+        # finish the batch serially with a correct, complete, ordered
+        # result instead of surfacing BrokenProcessPool.
+        inj = _injector(FaultSpec(kind="crash", index=2, times=1))
+        out = engine.run_tasks(
+            _square, list(range(6)), jobs=2, injector=inj, retries=1, backoff_s=0
+        )
+        assert out == [x * x for x in range(6)]
+
+    def test_unrecoverable_crash_is_a_clean_typed_error(self):
+        inj = _injector(FaultSpec(kind="crash", index=1, times=ALWAYS))
+        with pytest.raises(TaskExecutionError):
+            engine.run_tasks(
+                _square, list(range(4)), jobs=2, injector=inj,
+                retries=1, backoff_s=0,
+            )
+
+    def test_hung_worker_times_out_and_retries(self):
+        inj = _injector(FaultSpec(kind="hang", index=1, times=1, hang_s=5.0))
+        out = engine.run_tasks(
+            _square, list(range(4)), jobs=2, injector=inj,
+            retries=2, backoff_s=0, timeout_s=0.3,
+        )
+        assert out == [0, 1, 4, 9]
+
+    def test_hang_without_retries_is_a_clean_typed_error(self):
+        inj = _injector(FaultSpec(kind="hang", index=0, times=ALWAYS, hang_s=5.0))
+        with pytest.raises(TaskExecutionError) as err:
+            engine.run_tasks(
+                _square, list(range(3)), jobs=2, injector=inj,
+                retries=0, backoff_s=0, timeout_s=0.2,
+            )
+        assert err.value.index == 0
+
+    def test_random_fault_storm_still_correct(self):
+        # A seeded storm of raise faults across a third of the tasks:
+        # bounded retries must absorb every one of them.
+        plan = FaultPlan.random_task_faults(
+            seed=11, n_tasks=20, rate=0.35, kinds=("raise",), times=1
+        )
+        assert plan.specs  # the storm actually contains faults
+        out = engine.run_tasks(
+            _square, list(range(20)), jobs=3,
+            injector=ChaosInjector(plan), retries=1, backoff_s=0,
+        )
+        assert out == [x * x for x in range(20)]
+
+
+class TestEnvHooks:
+    def test_chaos_plan_env_var_reaches_workers(self, tmp_path, monkeypatch):
+        plan = FaultPlan([FaultSpec(kind="raise", index=0, times=ALWAYS)])
+        monkeypatch.setenv(
+            "REPRO_CHAOS_PLAN", str(plan.save(tmp_path / "plan.json"))
+        )
+        with pytest.raises(TaskExecutionError):
+            engine.run_tasks(_square, [1, 2], jobs=1, retries=0, backoff_s=0)
+
+    def test_no_plan_means_no_injector(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHAOS_PLAN", raising=False)
+        assert engine._injector_from_env() is None
+
+    def test_retry_policy_env_vars(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TASK_RETRIES", "4")
+        monkeypatch.setenv("REPRO_TASK_BACKOFF_S", "0")
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT_S", "2.5")
+        assert engine.resolve_retries() == 4
+        assert engine.resolve_backoff_s() == 0.0
+        assert engine.resolve_timeout_s() == 2.5
+        assert engine.resolve_retries(0) == 0  # explicit beats env
+
+    def test_retry_policy_defaults(self, monkeypatch):
+        for var in ("REPRO_TASK_RETRIES", "REPRO_TASK_BACKOFF_S", "REPRO_TASK_TIMEOUT_S"):
+            monkeypatch.delenv(var, raising=False)
+        assert engine.resolve_retries() == engine.DEFAULT_TASK_RETRIES
+        assert engine.resolve_backoff_s() == engine.DEFAULT_TASK_BACKOFF_S
+        assert engine.resolve_timeout_s() is None
+
+    def test_retry_policy_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TASK_RETRIES", "lots")
+        with pytest.raises(ValueError):
+            engine.resolve_retries()

@@ -1,0 +1,159 @@
+"""Property-based tests for the engine's partitioning and plan/merge order.
+
+The campaign layer's correctness rests on three combinatorial
+invariants, checked here for arbitrary shapes rather than hand-picked
+examples:
+
+- :func:`~repro.experiments.parallel.chunked` partitions without losing,
+  duplicating, or reordering tasks for any ``(n_tasks, jobs)`` pair;
+- :func:`~repro.experiments.parallel.iter_tasks` yields exactly one
+  result per task, in task order;
+- the campaign plan (cells x repetition seeds) and the resume-time merge
+  reproduce the serial sweep order for any grid and any cached/missing
+  split.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.campaign import CampaignRunner
+from repro.experiments import parallel as engine
+
+pytestmark = pytest.mark.chaos
+
+
+class TestChunkedProperties:
+    @given(
+        items=st.lists(st.integers(), max_size=200),
+        chunks=st.integers(min_value=1, max_value=64),
+    )
+    def test_partition_invariants(self, items, chunks):
+        out = engine.chunked(items, chunks)
+        # No task lost, duplicated, or reordered.
+        assert [x for chunk in out for x in chunk] == items
+        if items:
+            assert len(out) == min(chunks, len(items))
+            assert all(chunk for chunk in out)  # no empty chunks
+            sizes = [len(chunk) for chunk in out]
+            assert max(sizes) - min(sizes) <= 1  # balanced
+        else:
+            assert out == []
+
+    @given(
+        n_tasks=st.integers(min_value=0, max_value=500),
+        jobs=st.integers(min_value=1, max_value=32),
+    )
+    def test_no_task_lost_for_any_shape(self, n_tasks, jobs):
+        tasks = list(range(n_tasks))
+        flat = [x for chunk in engine.chunked(tasks, jobs) for x in chunk]
+        assert flat == tasks
+
+
+class TestIterTasksProperties:
+    @given(tasks=st.lists(st.integers(min_value=-10**6, max_value=10**6), max_size=100))
+    @settings(deadline=None)
+    def test_serial_map_is_identity_ordered(self, tasks):
+        # One result per task, in task order, values untouched.
+        assert engine.run_tasks(_negate, tasks, jobs=1, backoff_s=0) == [
+            -x for x in tasks
+        ]
+
+    @given(
+        n_tasks=st.integers(min_value=0, max_value=60),
+        retries=st.integers(min_value=0, max_value=3),
+    )
+    @settings(deadline=None)
+    def test_retry_budget_never_changes_results(self, n_tasks, retries):
+        tasks = list(range(n_tasks))
+        assert (
+            engine.run_tasks(_negate, tasks, jobs=1, retries=retries, backoff_s=0)
+            == [-x for x in tasks]
+        )
+
+
+def _negate(x):
+    return -x
+
+
+@st.composite
+def _grids(draw):
+    errors = draw(
+        st.lists(
+            st.floats(
+                min_value=0.01, max_value=100.0,
+                allow_nan=False, allow_infinity=False,
+            ),
+            min_size=1, max_size=6, unique=True,
+        )
+    )
+    periods = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=512),
+            min_size=1, max_size=8, unique=True,
+        )
+    )
+    repetitions = draw(st.integers(min_value=1, max_value=5))
+    return errors, periods, repetitions
+
+
+class TestPlanAndMergeOrder:
+    def _runner(self):
+        return CampaignRunner(thresholds=None)
+
+    @given(grid=_grids())
+    @settings(deadline=None)
+    def test_plan_is_the_serial_nested_loop(self, grid):
+        errors, periods, _ = grid
+        cells = self._runner().plan_cells("A", errors, periods)
+        assert [(c.error_value, c.period_ms) for c in cells] == [
+            (v, p) for v in errors for p in periods
+        ]
+        assert len(set(cells)) == len(cells)  # no duplicate cells
+
+    @given(grid=_grids())
+    @settings(deadline=None)
+    def test_plan_tasks_cover_grid_exactly_once(self, grid):
+        errors, periods, repetitions = grid
+        runner = self._runner()
+        cells = runner.plan_cells("B", errors, periods)
+        seeds = runner.repetition_seeds(repetitions)
+        tasks = [(cell, seed) for cell in cells for seed in seeds]
+        assert len(tasks) == len(errors) * len(periods) * repetitions
+        assert len(set(tasks)) == len(tasks)
+        # Repetition and fault-free seed streams never collide.
+        assert not set(seeds) & set(runner.fault_free_seeds(repetitions))
+
+    @given(
+        grid=_grids(),
+        data=st.data(),
+    )
+    @settings(deadline=None)
+    def test_resume_merge_equals_serial_order(self, grid, data):
+        # Model get_campaign's resume: an arbitrary subset of cells is
+        # cached, the rest recompute out-of-band, and the merged list
+        # must equal the full serial sweep order regardless of the split.
+        errors, periods, repetitions = grid
+        runner = self._runner()
+        cells = runner.plan_cells("B", errors, periods)
+        seeds = runner.repetition_seeds(repetitions)
+        serial = [(i, seed) for i in range(len(cells)) for seed in seeds]
+
+        cached = {
+            i for i in range(len(cells))
+            if data.draw(st.booleans(), label=f"cached[{i}]")
+        }
+        per_cell = {
+            i: [(i, seed) for seed in seeds] for i in cached
+        }
+        missing = [i for i in range(len(cells)) if i not in cached]
+        # Missing cells complete in plan order (iter_tasks contract).
+        for i in missing:
+            per_cell[i] = [(i, seed) for seed in seeds]
+
+        merged = []
+        for i in range(len(cells)):
+            merged.extend(per_cell[i])
+        assert merged == serial

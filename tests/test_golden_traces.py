@@ -1,0 +1,120 @@
+"""Golden-trace differential regression suite.
+
+Small canonical simulation traces (fault-free + scenario A/B) and a tiny
+campaign are pinned as byte-exact fingerprints under ``tests/golden/``.
+The suite asserts three invariants at once:
+
+- **code drift** — today's Euler simulator reproduces the recorded bytes
+  (and, because the goldens are committed, Euler matches itself across
+  platforms and checkouts);
+- **serial vs parallel** — the process-pool engine produces the same
+  bytes as the in-process loop;
+- **fresh vs resumed** — a campaign interrupted by an injected fault and
+  resumed from its shards produces the same bytes as an undisturbed run.
+
+Re-record with ``pytest --update-golden`` and commit the diff — a golden
+change *is* a results change and should be reviewed as one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.campaign import CampaignRunner, ParallelCampaignRunner
+from repro.errors import TaskExecutionError
+from repro.experiments.campaigns import get_campaign
+from repro.experiments.scale import Scale
+from repro.sim.runner import run_fault_free, run_scenario_a, run_scenario_b
+from repro.testing import ChaosInjector, FaultPlan, FaultSpec, campaign_fingerprint
+from repro.testing.faults import ALWAYS
+
+pytestmark = pytest.mark.golden
+
+TINY = Scale(
+    name="tiny-golden",
+    training_runs=1,
+    training_duration_s=0.7,
+    errors_a_mm=(0.1,),
+    errors_b_dac=(26000,),
+    periods_ms=(16, 64),
+    repetitions=1,
+    fault_free_runs=1,
+    run_duration_s=0.7,
+    validation_runs=1,
+    validation_duration_s=0.7,
+    syscall_samples=10,
+    capture_runs=1,
+    capture_duration_s=0.7,
+)
+
+
+class TestTraceGoldens:
+    """Single-run traces: the simulator's bytes, pinned."""
+
+    def test_fault_free_euler(self, golden):
+        trace = run_fault_free(seed=3, duration_s=0.7)
+        golden.check("trace_fault_free_euler", trace.fingerprint())
+
+    def test_fault_free_replay_is_bit_identical(self):
+        # The determinism the whole suite rests on: same seed, same bytes.
+        a = run_fault_free(seed=3, duration_s=0.7).fingerprint()
+        b = run_fault_free(seed=3, duration_s=0.7).fingerprint()
+        assert a == b
+
+    def test_scenario_a(self, golden):
+        result = run_scenario_a(
+            seed=5, error_mm=0.5, period_ms=16, duration_s=0.7,
+            raven_safety_enabled=False,
+        )
+        golden.check("trace_scenario_a", result.trace.fingerprint())
+
+    def test_scenario_b(self, golden):
+        result = run_scenario_b(
+            seed=5, error_dac=26000, period_ms=16, duration_s=0.7,
+            raven_safety_enabled=False,
+        )
+        golden.check("trace_scenario_b", result.trace.fingerprint())
+
+
+@pytest.mark.campaign
+class TestCampaignGoldens:
+    """Campaign outcomes: serial, parallel, and resumed must all match
+    the same recorded fingerprint."""
+
+    GRID = dict(scenario="B", error_values=[26000], periods_ms=[16, 64])
+
+    def test_serial_campaign(self, golden, loose_thresholds):
+        result = CampaignRunner(loose_thresholds, duration_s=0.7).run_campaign(
+            **self.GRID, repetitions=1, fault_free_runs=1
+        )
+        golden.check("campaign_b_serial", campaign_fingerprint(result))
+
+    def test_parallel_campaign_matches_serial_golden(
+        self, golden, loose_thresholds
+    ):
+        result = ParallelCampaignRunner(
+            loose_thresholds, duration_s=0.7, jobs=2
+        ).run_campaign(**self.GRID, repetitions=1, fault_free_runs=1)
+        golden.check("campaign_b_serial", campaign_fingerprint(result))
+
+    def test_fresh_and_resumed_campaign_match_golden(self, golden, tmp_path):
+        # Fresh, undisturbed run (trains thresholds, caches shards).
+        fresh = get_campaign("B", TINY, cache_dir=tmp_path / "fresh", jobs=1)
+        fingerprint = campaign_fingerprint(fresh)
+        golden.check("campaign_b_cached", fingerprint)
+
+        # Interrupted run: an unrecoverable injected fault kills it after
+        # the first cell checkpoints ...
+        injector = ChaosInjector(
+            FaultPlan([FaultSpec(kind="raise", index=1, times=ALWAYS)])
+        )
+        interrupted_dir = tmp_path / "resumed"
+        with pytest.raises(TaskExecutionError):
+            get_campaign(
+                "B", TINY, cache_dir=interrupted_dir, jobs=1,
+                injector=injector,
+            )
+        # ... and the resume completes bit-identically to the golden.
+        resumed = get_campaign("B", TINY, cache_dir=interrupted_dir, jobs=1)
+        assert campaign_fingerprint(resumed) == fingerprint
+        golden.check("campaign_b_cached", campaign_fingerprint(resumed))
