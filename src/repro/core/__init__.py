@@ -14,6 +14,9 @@ Public API
 - :class:`ThresholdLearner`, :class:`SafetyThresholds` — percentile learning.
 - :class:`AnomalyDetector`, :class:`DetectionResult` — alarm fusion.
 - :class:`DetectorGuard`, :class:`MitigationStrategy` — USB-board insertion.
+- :class:`GuardSupervisor`, :class:`SupervisorConfig`, :class:`GuardHealth`
+  — degraded-mode runtime (measurement plausibility screen, model coasting,
+  staleness watchdog).
 - :class:`RavenBaselineDetector` — the robot's built-in checks, as a
   comparable detector.
 - :mod:`repro.core.metrics` — ACC/TPR/FPR/F1.
@@ -22,18 +25,32 @@ Public API
 from repro.core.dynamic_model import ModelPrediction, RavenDynamicModel
 from repro.core.estimator import NextStateEstimator, StateEstimate
 from repro.core.thresholds import SafetyThresholds, ThresholdLearner
-from repro.core.detector import AnomalyDetector, DetectionResult, FusionRule
+from repro.core.detector import (
+    AlarmDebouncer,
+    AnomalyDetector,
+    DetectionResult,
+    FusionRule,
+)
 from repro.core.mitigation import MitigationStrategy
-from repro.core.pipeline import DetectorGuard
+from repro.core.pipeline import (
+    DetectorGuard,
+    GuardHealth,
+    GuardSupervisor,
+    SupervisorConfig,
+)
 from repro.core.baseline import RavenBaselineDetector
 from repro.core.metrics import ConfusionMatrix, classification_report
 
 __all__ = [
+    "AlarmDebouncer",
     "AnomalyDetector",
     "ConfusionMatrix",
     "DetectionResult",
     "DetectorGuard",
     "FusionRule",
+    "GuardHealth",
+    "GuardSupervisor",
+    "SupervisorConfig",
     "MitigationStrategy",
     "ModelPrediction",
     "NextStateEstimator",

@@ -8,13 +8,21 @@ when all three variables indicate an abnormality." (paper, Section IV.C)
 
 The fusion rule is configurable (``ALL`` is the paper's choice; ``ANY`` and
 ``MAJORITY`` support the fusion ablation).
+
+For *in-situ* deployment under degraded measurements (encoder glitches,
+packet jitter, model drift) the detector additionally supports an optional
+M-of-N **decision window**: the fused per-cycle alarm is debounced so that
+an alert is raised only when at least M of the last N evaluations alarmed.
+The default (no debounce) reproduces the paper's per-cycle behaviour
+bit-exactly.
 """
 
 from __future__ import annotations
 
 import enum
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Deque, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -42,16 +50,55 @@ class FusionRule(enum.Enum):
 
 @dataclass(frozen=True)
 class DetectionResult:
-    """Outcome of evaluating one intercepted command."""
+    """Outcome of evaluating one intercepted command.
+
+    ``alert`` is the post-debounce decision the guard acts on; ``raw_alert``
+    is the undebounced per-cycle fusion outcome (identical to ``alert``
+    when no decision window is configured).
+    """
 
     alert: bool
     alarms: Dict[str, bool]
     margins: Dict[str, float]
+    raw_alert: Optional[bool] = None
 
     @property
     def alarm_count(self) -> int:
         """How many variable groups alarmed."""
         return sum(self.alarms.values())
+
+
+class AlarmDebouncer:
+    """M-of-N decision window over the fused per-cycle alarm stream.
+
+    A single glitched measurement or one cycle of model-drift margin
+    overshoot should not trip the mitigation chain; requiring M alarming
+    cycles out of the last N trades a bounded amount of detection latency
+    (at most N control periods) for hysteresis against measurement noise.
+    """
+
+    def __init__(self, m: int, n: int) -> None:
+        if n < 1:
+            raise ValueError("decision window size n must be >= 1")
+        if not (1 <= m <= n):
+            raise ValueError("decision threshold m must be in [1, n]")
+        self.m = m
+        self.n = n
+        self._window: Deque[bool] = deque(maxlen=n)
+
+    def update(self, raw_alert: bool) -> bool:
+        """Push one per-cycle alarm; return the debounced decision."""
+        self._window.append(raw_alert)
+        return sum(self._window) >= self.m
+
+    def reset(self) -> None:
+        """Forget the window (e.g. across runs or E-STOP recovery)."""
+        self._window.clear()
+
+    @property
+    def window(self) -> Tuple[bool, ...]:
+        """The current window contents, oldest first."""
+        return tuple(self._window)
 
 
 class AnomalyDetector:
@@ -61,9 +108,19 @@ class AnomalyDetector:
         self,
         thresholds: Optional[SafetyThresholds] = None,
         fusion: FusionRule = FusionRule.ALL,
+        decision_window: Optional[Tuple[int, int]] = None,
     ) -> None:
+        """Create the detector.
+
+        ``decision_window``: optional ``(m, n)`` M-of-N debounce over the
+        fused alarm; ``None`` (the default) keeps the paper's per-cycle
+        alerting.
+        """
         self._thresholds = thresholds
         self.fusion = fusion
+        self.debouncer = (
+            None if decision_window is None else AlarmDebouncer(*decision_window)
+        )
         self.evaluations = 0
         self.alerts = 0
 
@@ -98,13 +155,22 @@ class AnomalyDetector:
             ratio = float(np.max(value / limit))
             alarms[group] = ratio > 1.0
             margins[group] = ratio
-        alert = self.fusion.decide(alarms)
+        raw_alert = self.fusion.decide(alarms)
+        alert = (
+            raw_alert
+            if self.debouncer is None
+            else self.debouncer.update(raw_alert)
+        )
         self.evaluations += 1
         if alert:
             self.alerts += 1
-        return DetectionResult(alert=alert, alarms=alarms, margins=margins)
+        return DetectionResult(
+            alert=alert, alarms=alarms, margins=margins, raw_alert=raw_alert
+        )
 
     def reset_counters(self) -> None:
-        """Zero the evaluation/alert counters."""
+        """Zero the evaluation/alert counters and the decision window."""
         self.evaluations = 0
         self.alerts = 0
+        if self.debouncer is not None:
+            self.debouncer.reset()

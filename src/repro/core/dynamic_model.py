@@ -158,6 +158,34 @@ class RavenDynamicModel:
             elapsed_s=elapsed,
         )
 
+    def apply_parameter_drift(
+        self, inertia_scale: float, friction_scale: Optional[float] = None
+    ) -> None:
+        """Drift the model's physical coefficients in place (bounded).
+
+        Models the slow divergence between the manually tuned model and the
+        real robot (wear, payload changes, temperature): inertial
+        parameters scale by ``inertia_scale`` and friction coefficients by
+        ``friction_scale`` (defaults to ``inertia_scale``).  Scales are
+        clamped to ``[0.5, 2.0]`` — physical drift is bounded; anything
+        beyond that band is a configuration error, not drift.
+        """
+        inertia_scale = float(np.clip(inertia_scale, 0.5, 2.0))
+        friction_scale = float(
+            np.clip(
+                inertia_scale if friction_scale is None else friction_scale,
+                0.5,
+                2.0,
+            )
+        )
+        dynamics = self.dynamics
+        self.dynamics = ManipulatorDynamics(
+            params=dynamics.params.scaled(inertia_scale),
+            friction=dynamics.friction.scaled(friction_scale),
+            include_coriolis=dynamics.include_coriolis,
+            include_gravity=dynamics.include_gravity,
+        )
+
     @property
     def mean_predict_seconds(self) -> float:
         """Average wall-clock seconds per prediction so far."""

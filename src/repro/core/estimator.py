@@ -81,7 +81,11 @@ class NextStateEstimator:
         self.alpha = velocity_filter_alpha
         self._jpos: Optional[np.ndarray] = None
         self._jvel = np.zeros(3)
+        self._predicted_jpos: Optional[np.ndarray] = None
         self._predicted_jvel: Optional[np.ndarray] = None
+        #: How many consecutive cycles the state was propagated from the
+        #: model prediction alone (no trusted measurement).
+        self.coast_streak = 0
 
     @property
     def synced(self) -> bool:
@@ -102,7 +106,9 @@ class NextStateEstimator:
         """Forget all state (e.g. across E-STOP)."""
         self._jpos = None
         self._jvel = np.zeros(3)
+        self._predicted_jpos = None
         self._predicted_jvel = None
+        self.coast_streak = 0
 
     def sync(self, mpos_measured: Sequence[float]) -> None:
         """Ingest one encoder measurement (motor shaft positions, rad).
@@ -128,7 +134,28 @@ class NextStateEstimator:
             else:
                 self._jvel = measured
         self._jpos = jpos
+        self._predicted_jpos = None
         self._predicted_jvel = None
+        self.coast_streak = 0
+
+    def coast(self) -> None:
+        """Advance one cycle with **no trusted measurement** (degraded mode).
+
+        The state rolls forward on the dynamic model's own prediction from
+        the previous cycle's command — the measurement-free analogue of
+        :meth:`sync`.  Before the first prediction (or before the first
+        measurement) this is a zero-order hold.  Coasting accumulates model
+        error without bound, so callers must cap consecutive coasts (see
+        :class:`repro.core.pipeline.GuardSupervisor`).
+        """
+        if self._jpos is None:
+            return  # never synced: nothing to propagate
+        if self._predicted_jpos is not None:
+            self._jpos = self._predicted_jpos
+            self._jvel = self._predicted_jvel
+        self._predicted_jpos = None
+        self._predicted_jvel = None
+        self.coast_streak += 1
 
     def estimate(self, dac_values: Sequence[float]) -> StateEstimate:
         """Estimate the instant rates produced by executing ``dac_values``.
@@ -141,6 +168,7 @@ class NextStateEstimator:
         if self._jpos is None:
             raise RuntimeError("estimator not synced: call sync() first")
         prediction = self.model.predict(self._jpos, self._jvel, dac_values)
+        self._predicted_jpos = prediction.jpos
         self._predicted_jvel = prediction.jvel
         mvel_now = self.model.transmission.motor_velocities(self._jvel)
         # "Estimated instant" rates: the velocities the model predicts for

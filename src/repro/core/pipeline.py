@@ -14,12 +14,27 @@ Per intercepted command packet the guard:
    prediction under the packet's DAC values and evaluates the fused alarm;
 3. applies the configured mitigation: monitor, block (robot holds the last
    safe command), or block + PLC E-STOP.
+
+A :class:`GuardSupervisor` wraps a guard for *in-situ* deployment, where
+the measurement stream is not perfect: it screens encoder readings for
+plausibility, coasts the estimator on the model's own prediction when a
+measurement is missing or implausible, caps consecutive coasts, and runs a
+staleness watchdog that escalates to a PLC E-STOP when command packets stop
+arriving entirely.  Its health state machine:
+
+    NOMINAL --implausible/missing measurement--> COASTING
+    COASTING --trusted measurement--> NOMINAL
+    COASTING --max_coast_cycles exceeded--> STALE --> (E-STOP)
+    any state --staleness_timeout_cycles without packets--> STALE --> (E-STOP)
 """
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
+
+import numpy as np
 
 from repro.control.state_machine import RobotState
 from repro.core.detector import AnomalyDetector, DetectionResult
@@ -28,6 +43,21 @@ from repro.core.mitigation import MitigationStrategy
 from repro.errors import DetectorError
 from repro.hw.usb_board import UsbBoard
 from repro.hw.usb_packet import CommandPacket
+
+
+class GuardHealth(enum.Enum):
+    """Typed health state of the detector runtime."""
+
+    #: Trusted measurements; full detection fidelity.
+    NOMINAL = "nominal"
+    #: Running on the model's own prediction (missing/implausible
+    #: measurements); detection continues at reduced fidelity.
+    COASTING = "coasting"
+    #: Measurements or packets stopped arriving for too long; the
+    #: supervisor no longer trusts its state estimate.
+    STALE = "stale"
+    #: The supervisor escalated to a PLC E-STOP.
+    ESTOPPED = "estopped"
 
 
 @dataclass
@@ -48,6 +78,19 @@ class GuardStats:
     packets_evaluated: int = 0
     alerts: int = 0
     blocked: int = 0
+    #: Alerts raised after ``max_recorded_alerts`` was reached — counted
+    #: here instead of silently vanishing from ``alert_events``.
+    alerts_dropped: int = 0
+    #: Cycles survived on the model's own prediction (degraded mode).
+    coasted_cycles: int = 0
+    #: Measurements rejected by the supervisor's plausibility screen.
+    implausible_measurements: int = 0
+    #: Supervisor-initiated E-STOP escalations (stale measurements).
+    stale_escalations: int = 0
+    #: Current detector-runtime health (NOMINAL without a supervisor).
+    health: GuardHealth = GuardHealth.NOMINAL
+    #: ``(cycle, health)`` transition log, in order.
+    health_transitions: List[Tuple[int, GuardHealth]] = field(default_factory=list)
     alert_events: List[AlertEvent] = field(default_factory=list)
 
     @property
@@ -59,6 +102,29 @@ class GuardStats:
     def first_alert_cycle(self) -> Optional[int]:
         """Cycle index of the first alert (None if never alerted)."""
         return self.alert_events[0].cycle if self.alert_events else None
+
+    def summary(self) -> dict:
+        """Flat summary of all counters (reports, logs, robustness sweeps)."""
+        return {
+            "packets_seen": self.packets_seen,
+            "packets_evaluated": self.packets_evaluated,
+            "alerts": self.alerts,
+            "alerts_recorded": len(self.alert_events),
+            "alerts_dropped": self.alerts_dropped,
+            "blocked": self.blocked,
+            "coasted_cycles": self.coasted_cycles,
+            "implausible_measurements": self.implausible_measurements,
+            "stale_escalations": self.stale_escalations,
+            "health": self.health.value,
+            "first_alert_cycle": self.first_alert_cycle,
+        }
+
+    def record_health(self, cycle: int, health: GuardHealth) -> None:
+        """Transition to ``health`` (no-op when already there)."""
+        if health is self.health:
+            return
+        self.health = health
+        self.health_transitions.append((cycle, health))
 
 
 class DetectorGuard:
@@ -96,28 +162,61 @@ class DetectorGuard:
         board.guard = self
 
     def reset(self) -> None:
-        """Clear per-run state (estimator memory and statistics)."""
+        """Clear per-run state (estimator memory, detector counters and
+        statistics)."""
         self.estimator.reset()
+        self.detector.reset_counters()
         self.stats = GuardStats()
         self._cycle = 0
         self._block_streak = 0
+
+    def tick_cycle(self, cycle: int) -> None:
+        """Per-control-cycle hook from the simulation loop.
+
+        The bare guard has no time-based behaviour; the supervisor
+        overrides this with its staleness watchdog.
+        """
+
+    def read_measurement(self) -> np.ndarray:
+        """The motor-shaft measurement the control software also sees."""
+        if self._board is None:
+            raise DetectorError("guard not attached to a USB board")
+        return self._board.encoders.to_radians(self._board.encoder_counts()[:3])
 
     # -- guard protocol (called by UsbBoard.fd_write) ------------------------------
 
     def __call__(self, packet: CommandPacket, raw: bytes) -> bool:
         """Inspect one command packet; return True to allow execution."""
+        return self.process(packet, self.read_measurement())
+
+    def process(
+        self, packet: CommandPacket, mpos: Optional[np.ndarray]
+    ) -> bool:
+        """Evaluate one packet against measurement ``mpos``.
+
+        ``mpos=None`` means "no trusted measurement this cycle": the
+        estimator coasts on the model's own prediction instead of syncing
+        (the supervisor's degraded mode).
+        """
         if self._board is None:
             raise DetectorError("guard not attached to a USB board")
         self._cycle += 1
         self.stats.packets_seen += 1
 
-        # Same measurement stream the control software uses.
-        mpos = self._board.encoders.to_radians(self._board.encoder_counts()[:3])
-        self.estimator.sync(mpos)
+        if mpos is not None:
+            # Same measurement stream the control software uses.
+            self.estimator.sync(mpos)
+        else:
+            self.estimator.coast()
+            self.stats.coasted_cycles += 1
 
         if packet.state is not RobotState.PEDAL_DOWN:
             # Brakes engaged: commands have no physical effect, and the
             # model's at-rest assumptions hold; nothing to evaluate.
+            return True
+        if not self.estimator.synced:
+            # Coasting before the first measurement: no state to predict
+            # from, so nothing can be evaluated yet.
             return True
 
         estimate = self.estimator.estimate(packet.dac_values[:3])
@@ -141,6 +240,8 @@ class DetectorGuard:
                     blocked=blocked,
                 )
             )
+        else:
+            self.stats.alerts_dropped += 1
         if self.strategy.stops_robot:
             self._board.plc.trigger_estop("dynamic-model detector alert")
         elif blocked and self._block_streak >= self.escalate_after_blocks:
@@ -148,3 +249,164 @@ class DetectorGuard:
                 "dynamic-model detector alert persisted; escalating to E-STOP"
             )
         return not blocked
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Tuning of the degraded-mode supervisor.
+
+    ``implausible_jump_rad``: largest credible motor-shaft angle change
+    between consecutive measurements.  Real motion is bounded by the motor
+    velocity limits (~15 rad/s x 1 ms = 0.015 rad/cycle), so anything
+    orders of magnitude above it is an encoder glitch, not motion.
+
+    ``max_coast_cycles``: consecutive model-only cycles tolerated before
+    the state estimate is declared stale.  Model error accumulates while
+    coasting, so this bounds how long detection runs open-loop.
+
+    ``staleness_timeout_cycles``: control cycles without *any* command
+    packet (after the first) before the supervisor assumes the control
+    software or measurement path is dead.
+
+    ``estop_on_stale``: whether STALE escalates to a PLC E-STOP (the safe
+    default on a physical robot) or only records the health transition
+    (useful for measurement campaigns).
+    """
+
+    implausible_jump_rad: float = 0.5
+    max_coast_cycles: int = 16
+    staleness_timeout_cycles: int = 64
+    estop_on_stale: bool = True
+
+    def to_dict(self) -> dict:
+        return {
+            "implausible_jump_rad": self.implausible_jump_rad,
+            "max_coast_cycles": self.max_coast_cycles,
+            "staleness_timeout_cycles": self.staleness_timeout_cycles,
+            "estop_on_stale": self.estop_on_stale,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SupervisorConfig":
+        return cls(**data)
+
+
+class GuardSupervisor:
+    """Degraded-mode runtime around a :class:`DetectorGuard`.
+
+    Installs *itself* as the USB board's guard hook and screens every
+    measurement before the wrapped guard sees it:
+
+    - **plausibility gate** — a measurement that is non-finite or jumps
+      more than ``implausible_jump_rad`` from the last trusted one is
+      rejected; the guard coasts on the model's own prediction instead
+      (health: COASTING), so one glitched encoder read neither corrupts
+      the state estimate nor trips the alarm chain;
+    - **coast cap** — after ``max_coast_cycles`` consecutive rejections
+      the state estimate is stale (health: STALE) and, by default, the
+      supervisor latches the PLC E-STOP: detection fidelity can no longer
+      be vouched for, which on a surgical robot means *stop*;
+    - **staleness watchdog** — :meth:`tick_cycle` (driven by the control
+      loop) escalates the same way when command packets stop arriving
+      entirely, e.g. a crashed control process or severed USB link.
+    """
+
+    def __init__(
+        self,
+        guard: DetectorGuard,
+        config: Optional[SupervisorConfig] = None,
+    ) -> None:
+        self.guard = guard
+        self.config = config or SupervisorConfig()
+        self._board: Optional[UsbBoard] = None
+        self._last_mpos: Optional[np.ndarray] = None
+        self._coast_streak = 0
+        self._cycle = 0
+        self._last_packet_cycle: Optional[int] = None
+
+    # -- delegation ---------------------------------------------------------------
+
+    @property
+    def stats(self) -> GuardStats:
+        """The wrapped guard's statistics (shared object)."""
+        return self.guard.stats
+
+    @property
+    def health(self) -> GuardHealth:
+        """Current health state."""
+        return self.stats.health
+
+    def attach(self, board: UsbBoard) -> None:
+        """Install the supervisor (not the bare guard) on a USB board."""
+        self._board = board
+        self.guard._board = board
+        board.guard = self
+
+    def reset(self) -> None:
+        """Clear supervisor and guard per-run state."""
+        self.guard.reset()
+        self._last_mpos = None
+        self._coast_streak = 0
+        self._cycle = 0
+        self._last_packet_cycle = None
+
+    # -- degraded-mode machinery -------------------------------------------------
+
+    def _plausible(self, mpos: np.ndarray) -> bool:
+        if not np.all(np.isfinite(mpos)):
+            return False
+        if self._last_mpos is None:
+            return True
+        jump = float(np.max(np.abs(mpos - self._last_mpos)))
+        return jump <= self.config.implausible_jump_rad
+
+    def _escalate_stale(self, reason: str) -> None:
+        self.stats.record_health(self._cycle, GuardHealth.STALE)
+        self.stats.stale_escalations += 1
+        if self.config.estop_on_stale and self._board is not None:
+            self._board.plc.trigger_estop(reason)
+            self.stats.record_health(self._cycle, GuardHealth.ESTOPPED)
+
+    def tick_cycle(self, cycle: int) -> None:
+        """Staleness watchdog, driven once per control cycle by the rig."""
+        self._cycle = cycle
+        if self._last_packet_cycle is None:
+            return  # no packet seen yet: the software may still be starting
+        if self.stats.health in (GuardHealth.STALE, GuardHealth.ESTOPPED):
+            return
+        if cycle - self._last_packet_cycle > self.config.staleness_timeout_cycles:
+            self._escalate_stale(
+                "detector supervisor: command/measurement stream stale"
+            )
+
+    # -- guard protocol -----------------------------------------------------------
+
+    def __call__(self, packet: CommandPacket, raw: bytes) -> bool:
+        """Screen the measurement, then delegate to the wrapped guard."""
+        if self._board is None:
+            raise DetectorError("supervisor not attached to a USB board")
+        self._last_packet_cycle = self._cycle
+        if self.stats.health is GuardHealth.ESTOPPED:
+            # Post-escalation packets are not evaluated; the PLC holds the
+            # robot and the operator must clear the E-STOP.
+            return False
+
+        mpos = self.guard.read_measurement()
+        if self._plausible(mpos):
+            self._last_mpos = mpos
+            self._coast_streak = 0
+            if self.stats.health is GuardHealth.COASTING:
+                self.stats.record_health(self._cycle, GuardHealth.NOMINAL)
+            return self.guard.process(packet, mpos)
+
+        # Degraded mode: reject the measurement, coast on the model.
+        self.stats.implausible_measurements += 1
+        self._coast_streak += 1
+        self.stats.record_health(self._cycle, GuardHealth.COASTING)
+        if self._coast_streak > self.config.max_coast_cycles:
+            self._escalate_stale(
+                "detector supervisor: measurements implausible for "
+                f"{self._coast_streak} consecutive cycles"
+            )
+            return not self.config.estop_on_stale
+        return self.guard.process(packet, None)

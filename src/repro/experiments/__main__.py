@@ -87,6 +87,20 @@ def _fig9(jobs=None) -> str:
     return "\n".join(lines)
 
 
+def _robustness(jobs=None) -> str:
+    from repro.experiments.robustness import (
+        format_results,
+        run_robustness,
+        shape_checks,
+    )
+
+    cells = run_robustness(jobs=jobs)
+    checks = shape_checks(cells)
+    lines = [format_results(cells), "", "shape checks:"]
+    lines += [f"  [{'ok' if ok else 'FAIL'}] {name}" for name, ok in checks.items()]
+    return "\n".join(lines)
+
+
 ARTIFACTS: Dict[str, Callable[[], str]] = {
     "table1": _table1,
     "table2": _table2,
@@ -95,6 +109,7 @@ ARTIFACTS: Dict[str, Callable[[], str]] = {
     "fig8": _fig8,
     "table4": _table4,
     "fig9": _fig9,
+    "robustness": _robustness,
 }
 
 

@@ -37,6 +37,12 @@ class Scale:
     #: Figures 5/6 eavesdropping runs.
     capture_runs: int
     capture_duration_s: float
+    #: Robustness sweep (physical-layer fault injection).  Defaulted so
+    #: older call sites constructing Scale explicitly keep working.
+    robustness_seeds: int = 3
+    robustness_fault_free_runs: int = 4
+    robustness_duration_s: float = 1.6
+    robustness_intensities: Tuple[float, ...] = (0.0, 0.35, 0.7, 1.0)
 
 
 SMOKE = Scale(
@@ -54,6 +60,10 @@ SMOKE = Scale(
     syscall_samples=2_000,
     capture_runs=3,
     capture_duration_s=1.5,
+    robustness_seeds=2,
+    robustness_fault_free_runs=2,
+    robustness_duration_s=1.4,
+    robustness_intensities=(0.0, 1.0),
 )
 
 DEFAULT = Scale(
@@ -71,6 +81,10 @@ DEFAULT = Scale(
     syscall_samples=50_000,
     capture_runs=9,
     capture_duration_s=2.0,
+    robustness_seeds=3,
+    robustness_fault_free_runs=4,
+    robustness_duration_s=1.6,
+    robustness_intensities=(0.0, 0.35, 0.7, 1.0),
 )
 
 PAPER = Scale(
@@ -88,6 +102,10 @@ PAPER = Scale(
     syscall_samples=50_000,
     capture_runs=9,
     capture_duration_s=2.5,
+    robustness_seeds=8,
+    robustness_fault_free_runs=12,
+    robustness_duration_s=2.0,
+    robustness_intensities=(0.0, 0.25, 0.5, 0.75, 1.0),
 )
 
 _PRESETS = {"smoke": SMOKE, "default": DEFAULT, "paper": PAPER}

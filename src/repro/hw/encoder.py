@@ -4,11 +4,16 @@ The motor controllers read back encoder values from the motors; the control
 software estimates current joint positions from them (Section II.B of the
 paper).  Quantization to integer counts is the only measurement noise the
 baseline system has; an optional count-level jitter models electrical noise.
+
+Physical-layer faults (dropout, glitch spikes, stuck counts) enter through
+the optional :attr:`EncoderBank.count_fault` hook, applied to the quantized
+counts of every read — the hook point :mod:`repro.testing.physfaults` uses.
+It defaults to ``None`` and costs production reads one attribute check.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -46,6 +51,9 @@ class EncoderBank:
         self.counts_per_rev = int(counts_per_rev)
         self.noise_counts = noise_counts
         self._rng = rng
+        #: Optional physical-fault hook: maps the quantized count vector of
+        #: one read to the (possibly corrupted) counts actually reported.
+        self.count_fault: Optional[Callable[[np.ndarray], np.ndarray]] = None
 
     def to_counts(self, mpos: Sequence[float]) -> np.ndarray:
         """Quantize motor shaft angles (rad) to integer counts."""
@@ -53,7 +61,12 @@ class EncoderBank:
         counts = mpos / _TWO_PI * self.counts_per_rev
         if self.noise_counts > 0:
             counts = counts + self._rng.normal(0.0, self.noise_counts, counts.shape)
-        return np.rint(counts).astype(np.int64)
+        quantized = np.rint(counts).astype(np.int64)
+        if self.count_fault is not None:
+            quantized = np.asarray(
+                self.count_fault(quantized), dtype=np.int64
+            )
+        return quantized
 
     def to_radians(self, counts: Sequence[int]) -> np.ndarray:
         """Convert integer counts back to motor shaft angles (rad)."""

@@ -17,11 +17,18 @@ Security-relevant behaviour reproduced from the paper:
 An optional *guard* hook runs before a command packet is executed; the
 dynamic-model detector of Section IV installs itself there, the paper's
 suggested "last computational component before the motor controllers".
+
+An optional *DAC fault* hook (:attr:`UsbBoard.dac_fault`) corrupts the DAC
+values **after** the guard decision, on their way into the motor
+controllers — modelling output-hardware faults (stuck-at channels, driver
+saturation) that no software component, detector included, can observe
+directly.  :mod:`repro.testing.physfaults` installs it; production pays
+one attribute check.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence
 
 from repro.errors import PacketError
 from repro.hw.encoder import EncoderBank
@@ -52,6 +59,9 @@ class UsbBoard:
         self.plc = plc
         self.encoders = encoders or EncoderBank()
         self.guard = guard
+        #: Optional physical-fault hook applied to the DAC values actually
+        #: latched into the motor controllers (post-guard).
+        self.dac_fault: Optional[Callable[[Sequence[int]], Sequence[int]]] = None
         self.packets_received = 0
         self.packets_blocked = 0
         self.malformed_packets = 0
@@ -78,10 +88,21 @@ class UsbBoard:
             # this cycle instead of the suspicious one — torque-neutral,
             # so the arm holds its state apart from gravity/friction.
             self.packets_blocked += 1
-            self.motor_controller.latch([0, 0, 0])
+            self._latch([0, 0, 0])
             return len(data)
-        self.motor_controller.latch(packet.dac_values[:3])
+        self._latch(packet.dac_values[:3])
         return len(data)
+
+    def _latch(self, dac_values: Sequence[int]) -> None:
+        """Latch DAC values into the motor controllers, via any DAC fault.
+
+        A stuck or saturating output stage corrupts whatever the board
+        decides to execute — including the zero command of a blocked
+        packet — so the fault applies after the guard, not before.
+        """
+        if self.dac_fault is not None:
+            dac_values = self.dac_fault(dac_values)
+        self.motor_controller.latch(list(dac_values))
 
     def fd_read(self, max_bytes: int) -> bytes:
         """Return a feedback packet with current encoder counts."""

@@ -17,8 +17,9 @@ protected/unprotected replicas of the same run see identical inputs.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -27,7 +28,7 @@ from repro.control.controller import RavenController
 from repro.control.safety import SafetyChecker
 from repro.control.state_machine import RobotState
 from repro.control.trajectory import Trajectory, TrajectoryLibrary
-from repro.core.pipeline import DetectorGuard
+from repro.core.pipeline import DetectorGuard, GuardSupervisor
 from repro.dynamics.plant import RavenPlant
 from repro.errors import SimulationError
 from repro.hw.encoder import EncoderBank
@@ -62,6 +63,13 @@ class RigConfig:
     plant_substeps: int = 2
     tremor_amplitude_m: float = 3e-5
     extra_trajectory_params: dict = field(default_factory=dict)
+    #: Optional physical-layer fault plan: a
+    #: :class:`repro.testing.physfaults.PhysFaultPlan`, its ``to_dict()``
+    #: form (picklable, for worker processes), or a path to a saved plan.
+    #: ``None`` (the default) falls back to the ``REPRO_PHYS_FAULT_PLAN``
+    #: environment variable; with neither set the fault module is never
+    #: imported and the rig is bit-identical to earlier builds.
+    phys_faults: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0:
@@ -82,7 +90,7 @@ class SurgicalRig:
         config: RigConfig,
         trajectory: Optional[Trajectory] = None,
         preload_libraries: Sequence[SharedLibrary] = (),
-        guard: Optional[DetectorGuard] = None,
+        guard: Optional[Union[DetectorGuard, GuardSupervisor]] = None,
         environment: Optional[SystemEnvironment] = None,
         channel: Optional[UdpChannel] = None,
     ) -> None:
@@ -179,6 +187,22 @@ class SurgicalRig:
             encoders=self.encoders,
         )
 
+        # -- physical-layer fault injection (opt-in) ---------------------------------
+        # Resolved last so every component the injector hooks exists.  The
+        # env-var name is spelled out here (rather than imported) so the
+        # fault module stays unimported unless a plan is actually present.
+        self.phys_injector = None
+        plan = config.phys_faults
+        if plan is None:
+            plan_path = os.environ.get("REPRO_PHYS_FAULT_PLAN", "").strip()
+            if plan_path:
+                plan = plan_path
+        if plan is not None:
+            from repro.testing.physfaults import PhysFaultInjector
+
+            self.phys_injector = PhysFaultInjector(plan)
+            self.phys_injector.install(self)
+
     # -- execution ---------------------------------------------------------------------
 
     def run(self, trace: Optional[RunTrace] = None) -> RunTrace:
@@ -207,10 +231,16 @@ class SurgicalRig:
                 started = True
 
             self.socket.set_time(now)
+            if self.phys_injector is not None:
+                self.phys_injector.set_time(now)
             self.console.tick(now)
             out = self.controller.tick(now)
             if not out.safety.safe:
                 trace.safety_trip_cycles.append(k)
+            if self.guard is not None:
+                # Per-cycle guard housekeeping (staleness watchdog on the
+                # supervisor; a no-op for the bare DetectorGuard).
+                self.guard.tick_cycle(k)
 
             self.plc.tick()
             if (

@@ -123,6 +123,22 @@ def decode_itp(data: bytes, verify_checksum: bool = True) -> ItpPacket:
     )
 
 
+def corrupt_itp(data: bytes, byte_index: int, xor_mask: int = 0xFF) -> bytes:
+    """Flip bits of one wire byte (line-noise model for fault injection).
+
+    XORing any byte in ``[0, 38)`` breaks the additive checksum, so the
+    control software's :func:`decode_itp` rejects the packet — on-the-wire
+    corruption therefore manifests to the receiver as packet loss, which is
+    exactly how the real ITP/UDP link degrades.  Corrupting the checksum
+    bytes themselves (offsets 38-39) has the same effect.
+    """
+    if not data:
+        return data
+    out = bytearray(data)
+    out[byte_index % len(out)] ^= xor_mask & 0xFF
+    return bytes(out)
+
+
 def clamp_increment(
     dpos: np.ndarray, limit: Optional[float] = None
 ) -> np.ndarray:

@@ -10,14 +10,35 @@ A :class:`UdpSocket` adapts one end of the channel to the
 receives packets via the ``recvfrom`` system call — the hook point for the
 paper's scenario-A attack (injection of unintended user inputs *after* they
 are received by the control software).
+
+Beyond the channel's built-in stationary latency/jitter/loss model, an
+optional per-datagram fault hook (:attr:`UdpChannel.fault`, the
+:class:`ChannelFault` protocol) lets :mod:`repro.testing.physfaults` impose
+*windowed, bursty* degradation — loss bursts, duplication, jitter spikes,
+payload corruption — on top of (or instead of) the stationary model.
+Production sends pay one attribute check.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
+
+
+class ChannelFault:
+    """Protocol for per-datagram physical faults on a :class:`UdpChannel`.
+
+    :meth:`on_send` maps one datagram to the list of ``(data, extra_delay)``
+    deliveries it becomes: ``[]`` drops it, one entry passes (possibly
+    delayed or corrupted), several entries duplicate it.
+    """
+
+    def on_send(
+        self, data: bytes, now: float
+    ) -> Sequence[Tuple[bytes, float]]:  # pragma: no cover - interface
+        raise NotImplementedError
 
 
 class UdpChannel:
@@ -44,6 +65,8 @@ class UdpChannel:
         self._seq = 0
         self.sent = 0
         self.dropped = 0
+        #: Optional windowed/bursty fault hook (see :class:`ChannelFault`).
+        self.fault: Optional[ChannelFault] = None
 
     def send(self, data: bytes, now: float) -> None:
         """Enqueue a datagram at time ``now``."""
@@ -54,6 +77,17 @@ class UdpChannel:
         delay = self.latency_s
         if self.jitter_s > 0:
             delay += float(self._rng.uniform(0.0, self.jitter_s))
+        if self.fault is not None:
+            deliveries = self.fault.on_send(data, now)
+            if not deliveries:
+                self.dropped += 1
+                return
+            for payload, extra in deliveries:
+                heapq.heappush(
+                    self._in_flight, (now + delay + extra, self._seq, payload)
+                )
+                self._seq += 1
+            return
         heapq.heappush(self._in_flight, (now + delay, self._seq, data))
         self._seq += 1
 

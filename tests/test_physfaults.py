@@ -1,0 +1,253 @@
+"""Tests for repro.testing.physfaults (physical-layer fault injection)."""
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.core.dynamic_model import RavenDynamicModel
+from repro.errors import ChecksumError
+from repro.sim.rig import RigConfig, SurgicalRig
+from repro.teleop.itp import ItpPacket, corrupt_itp, decode_itp, encode_itp
+from repro.testing.physfaults import (
+    PLAN_ENV_VAR,
+    PhysFaultInjector,
+    PhysFaultPlan,
+    PhysFaultSpec,
+    coerce_plan,
+)
+
+pytestmark = pytest.mark.robustness
+
+
+def make_injector(*specs, seed=0):
+    injector = PhysFaultInjector(PhysFaultPlan(specs=list(specs), seed=seed))
+    injector.set_time(0.1)
+    return injector
+
+
+class TestSpecAndPlan:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown physical fault kind"):
+            PhysFaultSpec(kind="cosmic_ray")
+
+    def test_intensity_bounds(self):
+        with pytest.raises(ValueError, match="intensity"):
+            PhysFaultSpec(kind="packet_loss", intensity=1.5)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError, match="stop_s"):
+            PhysFaultSpec(kind="packet_loss", start_s=1.0, stop_s=0.5)
+
+    def test_window_activity(self):
+        spec = PhysFaultSpec(kind="packet_loss", start_s=0.5, stop_s=1.0)
+        assert not spec.active(0.4)
+        assert spec.active(0.5)
+        assert not spec.active(1.0)
+
+    def test_plan_round_trips_through_dict(self):
+        plan = PhysFaultPlan(
+            specs=[
+                PhysFaultSpec(kind="encoder_glitch", intensity=0.3, axis=1),
+                PhysFaultSpec(kind="dac_stuck", value=1234.0, stop_s=1.5),
+            ],
+            seed=7,
+        )
+        assert PhysFaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_plan_save_load(self, tmp_path):
+        plan = PhysFaultPlan.single("packet_loss", intensity=0.25, seed=3)
+        path = plan.save(tmp_path / "plan.json")
+        assert PhysFaultPlan.load(path) == plan
+
+    def test_coerce_plan_accepts_all_forms(self, tmp_path):
+        plan = PhysFaultPlan.single("model_drift", seed=9)
+        path = plan.save(tmp_path / "plan.json")
+        assert coerce_plan(plan) == plan
+        assert coerce_plan(plan.to_dict()) == plan
+        assert coerce_plan(path) == plan
+
+    def test_subsystem_views(self):
+        plan = PhysFaultPlan(
+            specs=[
+                PhysFaultSpec(kind="encoder_dropout"),
+                PhysFaultSpec(kind="dac_saturate"),
+                PhysFaultSpec(kind="itp_corrupt"),
+                PhysFaultSpec(kind="model_drift"),
+            ]
+        )
+        assert [s.kind for s in plan.encoder_specs] == ["encoder_dropout"]
+        assert [s.kind for s in plan.dac_specs] == ["dac_saturate"]
+        assert [s.kind for s in plan.network_specs] == ["itp_corrupt"]
+        assert [s.kind for s in plan.model_specs] == ["model_drift"]
+
+
+class TestEncoderFaults:
+    def test_dropout_zeroes_counts(self):
+        injector = make_injector(PhysFaultSpec(kind="encoder_dropout", intensity=1.0))
+        out = injector.encoder_hook(np.array([100, -200, 300], dtype=np.int64))
+        assert list(out) == [0, 0, 0]
+        assert injector.encoder_faults_fired == 1
+
+    def test_dropout_respects_axis(self):
+        injector = make_injector(
+            PhysFaultSpec(kind="encoder_dropout", intensity=1.0, axis=1)
+        )
+        out = injector.encoder_hook(np.array([100, -200, 300], dtype=np.int64))
+        assert list(out) == [100, 0, 300]
+
+    def test_glitch_spikes_one_axis(self):
+        injector = make_injector(
+            PhysFaultSpec(kind="encoder_glitch", intensity=1.0, axis=0, value=500)
+        )
+        counts = np.array([100, -200, 300], dtype=np.int64)
+        out = injector.encoder_hook(counts)
+        assert abs(out[0] - 100) == 500
+        assert list(out[1:]) == [-200, 300]
+
+    def test_stuck_holds_first_active_value(self):
+        injector = make_injector(PhysFaultSpec(kind="encoder_stuck"))
+        first = injector.encoder_hook(np.array([10, 20, 30], dtype=np.int64))
+        later = injector.encoder_hook(np.array([99, 98, 97], dtype=np.int64))
+        assert list(first) == [10, 20, 30]
+        assert list(later) == [10, 20, 30]
+
+    def test_inactive_window_passes_through(self):
+        injector = make_injector(
+            PhysFaultSpec(kind="encoder_dropout", intensity=1.0, start_s=5.0)
+        )
+        counts = np.array([1, 2, 3], dtype=np.int64)
+        assert list(injector.encoder_hook(counts)) == [1, 2, 3]
+        assert injector.encoder_faults_fired == 0
+
+    def test_same_cycle_reads_see_identical_corruption(self):
+        injector = make_injector(PhysFaultSpec(kind="encoder_glitch", intensity=0.5))
+        counts = np.array([100, 200, 300], dtype=np.int64)
+        assert list(injector.encoder_hook(counts)) == list(
+            injector.encoder_hook(counts)
+        )
+
+
+class TestDacFaults:
+    def test_stuck_forces_channel(self):
+        injector = make_injector(
+            PhysFaultSpec(kind="dac_stuck", axis=0, value=5000.0)
+        )
+        assert injector.dac_hook([100, 200, 300]) == [5000, 200, 300]
+        assert injector.dac_faults_fired == 1
+
+    def test_saturate_clips_symmetrically(self):
+        injector = make_injector(
+            PhysFaultSpec(kind="dac_saturate", value=1000.0)
+        )
+        assert injector.dac_hook([5000, -5000, 500]) == [1000, -1000, 500]
+
+    def test_saturate_intensity_scales_default_limit(self):
+        injector = make_injector(PhysFaultSpec(kind="dac_saturate", intensity=1.0))
+        limit = int(round(0.1 * constants.DAC_FULL_SCALE))
+        assert injector.dac_hook([32000, 0, 0]) == [limit, 0, 0]
+
+
+class TestNetworkFaults:
+    def packet_bytes(self):
+        return encode_itp(
+            ItpPacket(sequence=1, pedal_down=True, dpos=np.zeros(3))
+        )
+
+    def test_loss_drops_delivery(self):
+        injector = make_injector(PhysFaultSpec(kind="packet_loss", intensity=1.0))
+        assert injector.network_deliveries(self.packet_bytes(), 0.1) == []
+        assert injector.packets_dropped == 1
+
+    def test_duplicate_adds_trailing_copy(self):
+        injector = make_injector(
+            PhysFaultSpec(kind="packet_duplicate", intensity=1.0)
+        )
+        data = self.packet_bytes()
+        deliveries = injector.network_deliveries(data, 0.1)
+        assert len(deliveries) == 2
+        assert deliveries[0][0] == data
+        assert deliveries[1][0] == data
+        assert deliveries[1][1] > deliveries[0][1]
+
+    def test_jitter_delays_delivery(self):
+        injector = make_injector(
+            PhysFaultSpec(kind="packet_jitter", intensity=1.0, value=0.05)
+        )
+        [(payload, delay)] = injector.network_deliveries(self.packet_bytes(), 0.1)
+        assert 0.0 < delay <= 0.05
+
+    def test_corruption_breaks_checksum(self):
+        injector = make_injector(PhysFaultSpec(kind="itp_corrupt", intensity=1.0))
+        [(payload, _)] = injector.network_deliveries(self.packet_bytes(), 0.1)
+        with pytest.raises(ChecksumError):
+            decode_itp(payload)
+
+    def test_corrupt_itp_helper_flips_one_byte(self):
+        data = self.packet_bytes()
+        corrupted = corrupt_itp(data, 6)
+        assert corrupted != data
+        assert len(corrupted) == len(data)
+        assert corrupt_itp(corrupted, 6) == data  # XOR is an involution
+
+
+class TestModelDrift:
+    def test_drift_scales_model_parameters(self):
+        model = RavenDynamicModel()
+        inertias = model.dynamics.params.base_inertias.copy()
+        model.apply_parameter_drift(1.4)
+        assert np.allclose(model.dynamics.params.base_inertias, 1.4 * inertias)
+
+    def test_drift_is_bounded(self):
+        model = RavenDynamicModel()
+        inertias = model.dynamics.params.base_inertias.copy()
+        model.apply_parameter_drift(100.0)
+        assert np.allclose(model.dynamics.params.base_inertias, 2.0 * inertias)
+
+
+class TestRigIntegration:
+    def test_plan_via_config_fires_faults(self):
+        plan = PhysFaultPlan.single("encoder_dropout", intensity=0.5, seed=1)
+        config = RigConfig(seed=0, duration_s=0.6, phys_faults=plan.to_dict())
+        rig = SurgicalRig(config)
+        rig.run()
+        assert rig.phys_injector is not None
+        assert rig.phys_injector.encoder_faults_fired > 0
+
+    def test_plan_via_env_var(self, tmp_path, monkeypatch):
+        path = PhysFaultPlan.single("packet_loss", intensity=0.5, seed=2).save(
+            tmp_path / "plan.json"
+        )
+        monkeypatch.setenv(PLAN_ENV_VAR, str(path))
+        rig = SurgicalRig(RigConfig(seed=0, duration_s=0.6))
+        rig.run()
+        assert rig.phys_injector is not None
+        assert rig.phys_injector.packets_dropped > 0
+        assert rig.channel.dropped >= rig.phys_injector.packets_dropped
+
+    def test_no_plan_means_no_injector(self, monkeypatch):
+        monkeypatch.delenv(PLAN_ENV_VAR, raising=False)
+        rig = SurgicalRig(RigConfig(seed=0, duration_s=0.6))
+        assert rig.phys_injector is None
+
+    def test_identical_plans_give_identical_traces(self):
+        plan = PhysFaultPlan.single("encoder_glitch", intensity=0.4, seed=5)
+        traces = []
+        for _ in range(2):
+            config = RigConfig(seed=3, duration_s=0.8, phys_faults=plan.to_dict())
+            traces.append(SurgicalRig(config).run())
+        assert np.array_equal(traces[0].jpos, traces[1].jpos)
+        assert np.array_equal(traces[0].dac, traces[1].dac)
+
+    def test_production_never_imports_physfaults(self, monkeypatch):
+        """Without a plan, a full simulator run must not touch the module."""
+        monkeypatch.delenv(PLAN_ENV_VAR, raising=False)
+        code = (
+            "import sys\n"
+            "from repro.sim.runner import run_fault_free\n"
+            "run_fault_free(seed=0, duration_s=0.3)\n"
+            "assert 'repro.testing.physfaults' not in sys.modules\n"
+        )
+        subprocess.run([sys.executable, "-c", code], check=True, timeout=300)

@@ -1,0 +1,80 @@
+"""End-to-end test of the robustness sweep at a tiny scale."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.robustness import (
+    FAULT_CLASSES,
+    build_fault_plan,
+    format_results,
+    run_robustness,
+    shape_checks,
+)
+from repro.experiments.scale import SMOKE
+
+pytestmark = [pytest.mark.slow, pytest.mark.robustness]
+
+TINY = dataclasses.replace(
+    SMOKE,
+    robustness_seeds=1,
+    robustness_fault_free_runs=1,
+    robustness_duration_s=1.2,
+    robustness_intensities=(0.0, 1.0),
+)
+
+CLASSES = ("packet_loss", "model_drift")
+
+
+@pytest.fixture(scope="module")
+def cells(tmp_path_factory):
+    return run_robustness(scale=TINY, jobs=2, fault_classes=CLASSES)
+
+
+def test_cell_grid_complete(cells):
+    assert len(cells) == len(CLASSES) * len(TINY.robustness_intensities)
+    assert {c.fault_class for c in cells} == set(CLASSES)
+    for cell in cells:
+        assert cell.attack_runs == 2  # one seed x scenarios A and B
+        assert 0.0 <= cell.detection_prob <= 1.0
+
+def test_baseline_detects_strong_attacks(cells):
+    baseline = [c for c in cells if c.intensity == 0.0]
+    assert baseline
+    for cell in baseline:
+        assert cell.detection_prob == 1.0, cell
+
+
+def test_baseline_false_positive_rate_bounded(cells):
+    """<= 2x the calibrated 0.1-0.2% per-packet target at zero intensity."""
+    for cell in (c for c in cells if c.intensity == 0.0):
+        assert cell.false_positive_rate <= 0.004, cell
+
+
+def test_detection_degrades_with_intensity(cells):
+    checks = shape_checks(cells)
+    failed = [name for name, ok in checks.items() if not ok]
+    assert not failed, f"shape checks failed: {failed}"
+
+
+def test_full_packet_loss_starves_scenario_a(cells):
+    """At 100% packet loss the scenario-A attack has no packets to ride
+    on, so at most the scenario-B run can still be detected."""
+    (cell,) = [
+        c
+        for c in cells
+        if c.fault_class == "packet_loss" and c.intensity == 1.0
+    ]
+    assert cell.detected_runs <= 1
+
+
+def test_format_results_renders_all_cells(cells):
+    text = format_results(cells)
+    assert "fault class" in text
+    assert text.count("packet_loss") == len(TINY.robustness_intensities)
+
+
+def test_build_fault_plan_covers_all_classes():
+    for fault_class in FAULT_CLASSES:
+        plan = build_fault_plan(fault_class, 0.5, seed=1)
+        assert plan.specs[0].kind == fault_class
