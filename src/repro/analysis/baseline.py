@@ -1,0 +1,96 @@
+"""Checked-in baseline of grandfathered findings.
+
+The baseline lets the CI gate fail *only on new findings*: violations
+that predate a rule (or are accepted debt) are recorded once with
+``--baseline-update`` and matched by fingerprint thereafter.  Matching is
+by multiset — two identical offending lines in one module need two
+baseline entries, and fixing one of them shrinks the allowance.
+
+The shipped baseline is intentionally empty: every true positive the
+rules found in ``src/`` was fixed or inline-waived instead.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.analysis.findings import Finding
+
+#: Version of the baseline file layout.
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but cannot be used."""
+
+
+def load_baseline(path: Union[str, Path]) -> "Counter[str]":
+    """Fingerprint multiset from ``path`` (empty when the file is absent)."""
+    path = Path(path)
+    if not path.exists():
+        return Counter()
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(
+            f"baseline file {path} is unreadable: {exc}"
+        ) from exc
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline file {path} has unsupported layout "
+            f"(expected version {BASELINE_VERSION}); regenerate it with "
+            "python -m repro.analysis --baseline-update"
+        )
+    counts: "Counter[str]" = Counter()
+    for entry in payload.get("findings", []):
+        fingerprint = str(entry["fingerprint"])
+        counts[fingerprint] += int(entry.get("count", 1))
+    return counts
+
+
+def save_baseline(path: Union[str, Path], findings: List[Finding]) -> None:
+    """Write the current findings as the new baseline (sorted, counted)."""
+    grouped: Dict[str, Dict[str, Union[str, int]]] = {}
+    for finding in sorted(findings, key=lambda f: f.sort_key):
+        entry = grouped.get(finding.fingerprint)
+        if entry is None:
+            grouped[finding.fingerprint] = {
+                "fingerprint": finding.fingerprint,
+                "rule": finding.rule_id,
+                "module": finding.module,
+                "source": finding.source,
+                "count": 1,
+            }
+        else:
+            entry["count"] = int(entry["count"]) + 1
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": sorted(
+            grouped.values(),
+            key=lambda e: (str(e["rule"]), str(e["module"]), str(e["source"])),
+        ),
+    }
+    Path(path).write_text(json.dumps(payload, indent=1) + "\n")
+
+
+def partition(
+    findings: List[Finding], baseline: "Counter[str]"
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split ``findings`` into ``(new, baselined)``.
+
+    Each baseline entry absorbs at most ``count`` occurrences of its
+    fingerprint; everything beyond the allowance is new.
+    """
+    remaining = Counter(baseline)
+    new: List[Finding] = []
+    grandfathered: List[Finding] = []
+    for finding in sorted(findings, key=lambda f: f.sort_key):
+        if remaining[finding.fingerprint] > 0:
+            remaining[finding.fingerprint] -= 1
+            grandfathered.append(finding)
+        else:
+            new.append(finding)
+    return new, grandfathered

@@ -1,0 +1,74 @@
+"""AST feature gating across the two CI Python matrices (3.9 and 3.11).
+
+The lint engine must produce *identical* findings on both interpreters,
+so every version-dependent ``ast`` feature is isolated here and keyed off
+``sys.version_info`` instead of being probed ad hoc at use sites:
+
+- ``match`` statements parse only on 3.10+ (``ast.Match``);
+- ``except*`` groups parse only on 3.11+ (``ast.TryStar``).
+
+Analyzed *source* must therefore stick to the 3.9 subset for findings to
+be comparable (a file using ``except*`` is a parse error on 3.9), but the
+engine itself walks whatever the running interpreter can parse.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from typing import Iterator, List, Tuple, Type
+
+#: ``try`` statement node types known to the running interpreter.
+TRY_STATEMENTS: Tuple[Type[ast.stmt], ...]
+if sys.version_info >= (3, 11):
+    TRY_STATEMENTS = (ast.Try, ast.TryStar)
+else:
+    TRY_STATEMENTS = (ast.Try,)
+
+#: ``match`` statement node types (empty before 3.10).
+MATCH_STATEMENTS: Tuple[Type[ast.stmt], ...]
+if sys.version_info >= (3, 10):
+    MATCH_STATEMENTS = (ast.Match,)
+else:
+    MATCH_STATEMENTS = ()
+
+
+def statement_blocks(node: ast.stmt) -> Iterator[List[ast.stmt]]:
+    """Every list of statements directly nested in ``node``.
+
+    Covers the bodies of compound statements (``if``/``for``/``while``/
+    ``with``), ``try``/``try*`` handlers and ``finally``, and ``match``
+    cases where the interpreter knows them.  Used to flatten a function
+    into execution-ordered statements without hard-coding node types that
+    only exist on newer interpreters.
+    """
+    if isinstance(node, (ast.If, ast.For, ast.AsyncFor, ast.While)):
+        yield node.body
+        yield node.orelse
+    elif isinstance(node, (ast.With, ast.AsyncWith)):
+        yield node.body
+    elif isinstance(node, TRY_STATEMENTS):
+        yield node.body  # type: ignore[attr-defined]
+        for handler in node.handlers:  # type: ignore[attr-defined]
+            yield handler.body
+        yield node.orelse  # type: ignore[attr-defined]
+        yield node.finalbody  # type: ignore[attr-defined]
+    elif MATCH_STATEMENTS and isinstance(node, MATCH_STATEMENTS):
+        for case in node.cases:  # type: ignore[attr-defined]
+            yield case.body
+
+
+def flatten_statements(body: List[ast.stmt]) -> Iterator[ast.stmt]:
+    """Yield ``body`` and all nested statements in source order.
+
+    Nested function/class definitions are yielded (they are statements)
+    but *not* descended into: their bodies execute later, not in this
+    frame's control flow.
+    """
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        for block in statement_blocks(stmt):
+            for nested in flatten_statements(block):
+                yield nested

@@ -1,0 +1,93 @@
+"""Configuration of the domain-invariant lint rules.
+
+The defaults encode *this repository's* architecture: which modules are
+sanctioned to touch DAC sinks, which packages must stay deterministic for
+the golden-trace suite, where safety constants are allowed to live.  The
+test fixtures (and any downstream fork) swap in their own scopes by
+constructing an :class:`AnalysisConfig` instead of patching rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+def module_matches(module: str, scopes: Tuple[str, ...]) -> bool:
+    """Whether ``module`` is one of ``scopes`` or inside one of them.
+
+    A scope entry names either a module (``repro.core.detector``) or a
+    package prefix (``repro.dynamics`` covers ``repro.dynamics.plant``).
+    """
+    for scope in scopes:
+        if module == scope or module.startswith(scope + "."):
+            return True
+    return False
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Scopes and allowlists consumed by the rule families."""
+
+    # -- RPR001: guard bypass / TOCTOU ------------------------------------------
+    #: Method names whose call latches DAC values into the actuation path.
+    dac_sink_attrs: Tuple[str, ...] = ("latch", "_latch")
+    #: Modules allowed to call a DAC sink directly (the guarded write path
+    #: itself plus the sanctioned fault-injection seam).
+    dac_sink_allowed_modules: Tuple[str, ...] = (
+        "repro.hw.usb_board",
+        "repro.hw.motor_controller",
+        "repro.core.pipeline",
+        "repro.testing.physfaults",
+    )
+    #: Attribute names that install guard/fault hooks on the USB board.
+    guard_hook_attrs: Tuple[str, ...] = ("guard", "dac_fault")
+    #: Modules allowed to (re)install those hooks on *another* object
+    #: (``self.<attr> = ...`` definition sites are always allowed).
+    guard_hook_allowed_modules: Tuple[str, ...] = (
+        "repro.hw.usb_board",
+        "repro.core.pipeline",
+        "repro.testing.physfaults",
+    )
+    #: Attribute/variable names whose call is the guard *check*; mutating
+    #: a checked value after one of these calls is the TOCTOU window.
+    guard_call_names: Tuple[str, ...] = ("guard",)
+
+    # -- RPR002: determinism ----------------------------------------------------
+    #: Packages whose behaviour the golden-trace suite pins bit-for-bit.
+    deterministic_packages: Tuple[str, ...] = (
+        "repro.core",
+        "repro.dynamics",
+        "repro.sim",
+        "repro.hw",
+        "repro.experiments",
+    )
+    #: The only modules allowed to read ``os.environ`` raw.
+    env_shim_modules: Tuple[str, ...] = ("repro.envcfg",)
+
+    # -- RPR002 + RPR004: process-pool entry points -----------------------------
+    #: Callable names that move work onto worker processes; their first
+    #: (or ``worker=``) argument must be picklable by construction.
+    pool_entry_points: Tuple[str, ...] = ("iter_tasks", "run_tasks", "submit")
+
+    # -- RPR003: magic safety numbers -------------------------------------------
+    #: Modules/packages where numeric safety literals must be named.
+    constants_scope: Tuple[str, ...] = (
+        "repro.control.safety",
+        "repro.core.detector",
+        "repro.dynamics",
+    )
+    #: Structurally innocuous integers (identities, tiny arities/indices).
+    allowed_int_literals: Tuple[int, ...] = (-2, -1, 0, 1, 2, 3, 4)
+    #: Structurally innocuous floats (identities and halves).
+    allowed_float_literals: Tuple[float, ...] = (-1.0, 0.0, 0.5, 1.0, 1.5, 2.0)
+
+    # -- engine -------------------------------------------------------------------
+    #: Rule ids to run (others are registered but skipped).
+    enabled_rules: Tuple[str, ...] = field(
+        default=("RPR001", "RPR002", "RPR003", "RPR004")
+    )
+
+
+#: The repository's own configuration.
+DEFAULT_CONFIG = AnalysisConfig()

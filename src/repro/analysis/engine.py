@@ -1,0 +1,134 @@
+"""The lint engine: collect files, parse, run rules, apply suppressions.
+
+The engine never imports analyzed code — everything is derived from the
+AST and the package structure on disk, so it can lint a broken tree and
+runs identically on both CI interpreters (see :mod:`repro.analysis.compat`
+for the version gating).
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.analysis.config import DEFAULT_CONFIG, AnalysisConfig
+from repro.analysis.findings import Finding
+from repro.analysis.rules import rules_for
+from repro.analysis.rules.base import Rule
+from repro.analysis.source import ModuleSource, collect_py_files
+from repro.analysis.suppress import is_suppressed
+
+logger = logging.getLogger(__name__)
+
+#: Pseudo-rule id for files the engine could not parse.  Deliberately not
+#: suppressible or baselineable: a syntax error means nothing else in the
+#: file was checked.
+PARSE_ERROR_RULE = "RPR000"
+
+
+@dataclass
+class AnalysisResult:
+    """Outcome of one engine run."""
+
+    #: Active findings (suppressions applied), sorted by location.
+    findings: List[Finding] = field(default_factory=list)
+    #: Findings waived by an inline ``# repro: allow[...]`` comment.
+    suppressed: List[Finding] = field(default_factory=list)
+    #: Unparseable files (``RPR000``), always active.
+    parse_errors: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def active(self) -> List[Finding]:
+        """Everything that should gate: parse errors + live findings."""
+        return sorted(
+            self.parse_errors + self.findings, key=lambda f: f.sort_key
+        )
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.active:
+            counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+        return counts
+
+
+class AnalysisEngine:
+    """Run the configured rules over a set of paths."""
+
+    def __init__(
+        self,
+        config: Optional[AnalysisConfig] = None,
+        rules: Optional[Sequence[Rule]] = None,
+    ) -> None:
+        self.config = config if config is not None else DEFAULT_CONFIG
+        self.rules: List[Rule] = (
+            list(rules) if rules is not None else rules_for(self.config)
+        )
+
+    def analyze_paths(
+        self,
+        paths: Sequence[Union[str, Path]],
+        display_root: Optional[Union[str, Path]] = None,
+    ) -> AnalysisResult:
+        """Analyze every ``.py`` file under ``paths``.
+
+        ``display_root`` relativizes reported paths (defaults to the
+        current working directory when it contains the files).
+        """
+        root = Path(display_root) if display_root is not None else Path.cwd()
+        result = AnalysisResult()
+        for file_path in collect_py_files([Path(p) for p in paths]):
+            module = self._load(file_path, root, result)
+            if module is None:
+                continue
+            result.files_scanned += 1
+            self.analyze_module(module, result)
+        result.findings.sort(key=lambda f: f.sort_key)
+        result.suppressed.sort(key=lambda f: f.sort_key)
+        return result
+
+    def analyze_module(
+        self, module: ModuleSource, result: AnalysisResult
+    ) -> None:
+        """Run every rule over one parsed module."""
+        for rule in self.rules:
+            for finding in rule.check(module, self.config):
+                if is_suppressed(
+                    finding.rule_id, finding.line, module.suppressions
+                ):
+                    result.suppressed.append(finding)
+                else:
+                    result.findings.append(finding)
+
+    def _load(
+        self, path: Path, root: Path, result: AnalysisResult
+    ) -> Optional[ModuleSource]:
+        try:
+            return ModuleSource.load(path, display_root=root)
+        except SyntaxError as exc:
+            display = self._display(path, root)
+            result.parse_errors.append(
+                Finding(
+                    rule_id=PARSE_ERROR_RULE,
+                    path=display,
+                    module=display,
+                    line=exc.lineno or 1,
+                    col=exc.offset or 0,
+                    message=f"file does not parse: {exc.msg}",
+                    source=(exc.text or "").strip(),
+                )
+            )
+            result.files_scanned += 1
+            return None
+        except (OSError, UnicodeDecodeError) as exc:
+            logger.warning("skipping unreadable file %s (%s)", path, exc)
+            return None
+
+    @staticmethod
+    def _display(path: Path, root: Path) -> str:
+        try:
+            return str(path.resolve().relative_to(root.resolve()))
+        except ValueError:
+            return str(path)

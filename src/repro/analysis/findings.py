@@ -1,0 +1,56 @@
+"""The unit of lint output: one :class:`Finding` per violation.
+
+A finding's :attr:`~Finding.fingerprint` deliberately excludes the line
+number: it hashes the rule, the module, and the normalized source text of
+the offending line, so a checked-in baseline keeps matching when code
+above the finding moves it a few lines, yet stops matching the moment the
+offending line itself is edited.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Tuple, Union
+
+JsonValue = Union[str, int]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule_id: str
+    path: str
+    module: str
+    line: int
+    col: int
+    message: str
+    #: Stripped text of the offending source line (fingerprint input).
+    source: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching (line-number free)."""
+        payload = "|".join((self.rule_id, self.module, self.source))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    @property
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def format(self) -> str:
+        """``path:line:col: RPRxxx message`` — the human-readable line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def to_dict(self) -> Dict[str, JsonValue]:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "module": self.module,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "source": self.source,
+            "fingerprint": self.fingerprint,
+        }

@@ -1,0 +1,54 @@
+"""Human and machine renderings of an analysis run."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Union
+
+from repro.analysis.engine import AnalysisResult
+from repro.analysis.findings import Finding
+
+JsonDict = Dict[str, Union[int, str, List[Dict[str, Union[str, int]]]]]
+
+
+def render_text(
+    result: AnalysisResult,
+    new: List[Finding],
+    baselined: List[Finding],
+) -> str:
+    """The human report: one line per new finding plus a summary."""
+    lines: List[str] = [finding.format() for finding in new]
+    counts = ", ".join(
+        f"{rule}: {count}"
+        for rule, count in sorted(result.counts_by_rule().items())
+    )
+    summary = (
+        f"repro.analysis: {result.files_scanned} files, "
+        f"{len(new)} new finding(s)"
+    )
+    if baselined:
+        summary += f", {len(baselined)} baselined"
+    if result.suppressed:
+        summary += f", {len(result.suppressed)} suppressed inline"
+    if counts:
+        summary += f" [{counts}]"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(
+    result: AnalysisResult,
+    new: List[Finding],
+    baselined: List[Finding],
+) -> str:
+    """Machine-readable report (stable key order)."""
+    payload: JsonDict = {
+        "files_scanned": result.files_scanned,
+        "new": [finding.to_dict() for finding in new],
+        "baselined": [finding.to_dict() for finding in baselined],
+        "suppressed": [finding.to_dict() for finding in result.suppressed],
+        "parse_errors": [
+            finding.to_dict() for finding in result.parse_errors
+        ],
+    }
+    return json.dumps(payload, indent=1, sort_keys=True)

@@ -1,0 +1,44 @@
+"""Rule registry for the domain-invariant lint engine."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.rules.base import Rule
+from repro.analysis.rules.constants_lint import MagicNumberRule
+from repro.analysis.rules.determinism import DeterminismRule
+from repro.analysis.rules.guard_bypass import GuardBypassRule
+from repro.analysis.rules.pool_safety import PoolSafetyRule
+
+#: Every known rule family, in id order.
+ALL_RULES: List[Type[Rule]] = [
+    GuardBypassRule,
+    DeterminismRule,
+    MagicNumberRule,
+    PoolSafetyRule,
+]
+
+#: Id -> class lookup.
+RULES_BY_ID: Dict[str, Type[Rule]] = {rule.rule_id: rule for rule in ALL_RULES}
+
+
+def rules_for(config: AnalysisConfig) -> List[Rule]:
+    """Instances of the rules enabled by ``config``, in id order."""
+    return [
+        rule_cls()
+        for rule_cls in ALL_RULES
+        if rule_cls.rule_id in config.enabled_rules
+    ]
+
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_ID",
+    "Rule",
+    "rules_for",
+    "GuardBypassRule",
+    "DeterminismRule",
+    "MagicNumberRule",
+    "PoolSafetyRule",
+]

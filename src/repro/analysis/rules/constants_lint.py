@@ -1,0 +1,109 @@
+"""RPR003 — magic safety numbers in threshold-bearing modules.
+
+The safety checker, the anomaly detector, and the dynamic model are where
+the paper's thresholds live; a bare numeric literal inside their logic is
+a tuning decision nobody can find, review, or sweep.  Inside the
+configured scope a numeric literal must be *named*: defined in
+``repro.constants``, as a module-level constant, or as a dataclass/class
+attribute default.  Structurally innocuous values (identities, halves,
+tiny arities) and subscript indices are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Union
+
+from repro.analysis.config import AnalysisConfig, module_matches
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule
+from repro.analysis.source import ModuleSource
+
+Number = Union[int, float]
+
+
+def _effective_value(
+    node: ast.Constant, parents: "dict[ast.AST, ast.AST]"
+) -> Number:
+    """The literal's value with an enclosing unary minus folded in."""
+    value: Number = node.value
+    parent = parents.get(node)
+    if isinstance(parent, ast.UnaryOp) and isinstance(parent.op, ast.USub):
+        return -value
+    return value
+
+
+class MagicNumberRule(Rule):
+    """Safety/threshold literals must be named, not inlined."""
+
+    rule_id = "RPR003"
+    summary = (
+        "bare numeric literals in safety/threshold modules that belong "
+        "in repro.constants or a named default"
+    )
+
+    def check(
+        self, module: ModuleSource, config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        if not module_matches(module.module, config.constants_scope):
+            return
+        parents = module.parents()
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Constant):
+                continue
+            value = node.value
+            if type(value) is not int and type(value) is not float:
+                continue  # bools, strings, None, complex
+            effective = _effective_value(node, parents)
+            if type(value) is int and effective in config.allowed_int_literals:
+                continue
+            if (
+                type(value) is float
+                and effective in config.allowed_float_literals
+            ):
+                continue
+            context = self._context(node, parents)
+            if context == "named":
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"magic number {effective!r} in a safety/threshold "
+                "module; hoist it into repro.constants, a module-level "
+                "constant, or a named dataclass default",
+            )
+
+    def _context(
+        self, node: ast.Constant, parents: "dict[ast.AST, ast.AST]"
+    ) -> Optional[str]:
+        """``"named"`` when the literal sits in an allowed definition site.
+
+        Allowed: module-level assignments (named constants, catalogs),
+        class-body assignments (dataclass/class attribute defaults), and
+        subscript indices/slices (structural, not tunable).
+        """
+        child: ast.AST = node
+        current = parents.get(node)
+        while current is not None:
+            if isinstance(current, ast.Slice):
+                return "named"
+            if isinstance(current, ast.Subscript) and child is current.slice:
+                return "named"
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return None  # function logic (incl. signature defaults)
+            if isinstance(current, ast.Lambda) and not isinstance(
+                parents.get(current), (ast.Assign, ast.AnnAssign, ast.keyword)
+            ):
+                # A lambda not directly bound in an assignment context is
+                # runtime logic; keep climbing otherwise (e.g. a
+                # ``field(default_factory=lambda: ...)`` dataclass default).
+                return None
+            if isinstance(current, (ast.Assign, ast.AnnAssign)):
+                owner = parents.get(current)
+                if isinstance(owner, ast.Module):
+                    return "named"
+                if isinstance(owner, ast.ClassDef):
+                    return "named"
+            child = current
+            current = parents.get(current)
+        return None

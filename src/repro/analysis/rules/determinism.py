@@ -1,0 +1,135 @@
+"""RPR002 — determinism of golden-trace-critical packages.
+
+The golden-trace suite pins serial == parallel == resumed bit-identity;
+that only holds while every run is a pure function of its configuration
+and seed.  Inside the critical packages this rule rejects the ambient
+inputs that silently break it:
+
+- wall-clock reads that feed values (``time.time``, ``datetime.now``,
+  ...) — monotonic duration probes (``perf_counter``) stay allowed;
+- the legacy global-state RNG APIs (``random.random``,
+  ``numpy.random.rand``, ``RandomState``, ...) — explicit generators
+  (``numpy.random.default_rng``, seeded ``random.Random``) stay allowed;
+- raw ``os.environ`` access outside the :mod:`repro.envcfg` shim;
+- lambdas handed to the process-pool layer (they do not pickle, so the
+  code silently only works on the serial path).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.config import AnalysisConfig, module_matches
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import (
+    ImportMap,
+    Rule,
+    pool_entry_call,
+    pool_worker_arg,
+)
+from repro.analysis.source import ModuleSource
+
+#: Wall-clock reads whose values leak nondeterminism into results.
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: numpy.random attributes that construct explicit, seedable generators.
+_NUMPY_RANDOM_ALLOWED = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+#: os.environ access spellings (reads and writes both count).
+_ENVIRON_NAMES = frozenset({"os.environ", "os.getenv", "os.putenv"})
+
+
+class DeterminismRule(Rule):
+    """No hidden inputs in golden-trace-critical packages."""
+
+    rule_id = "RPR002"
+    summary = (
+        "wall-clock reads, global-state RNG, raw os.environ access, and "
+        "pool-crossing lambdas in golden-trace-critical packages"
+    )
+
+    def check(
+        self, module: ModuleSource, config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        if not module_matches(module.module, config.deterministic_packages):
+            return
+        if module_matches(module.module, config.env_shim_modules):
+            return
+        imports = ImportMap(module)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                message = self._call_violation(node, imports, config)
+                if message is not None:
+                    yield self.finding(module, node, message)
+            elif isinstance(node, (ast.Attribute, ast.Name)):
+                resolved = imports.resolve(node)
+                if resolved in _ENVIRON_NAMES:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"raw '{resolved}' access in a golden-trace-"
+                        "critical package; read environment knobs through "
+                        "repro.envcfg so runs stay a pure function of "
+                        "configuration and seed",
+                    )
+
+    def _call_violation(
+        self, call: ast.Call, imports: ImportMap, config: AnalysisConfig
+    ) -> Optional[str]:
+        if pool_entry_call(call, config):
+            worker = pool_worker_arg(call)
+            if isinstance(worker, ast.Lambda):
+                return (
+                    "lambda submitted to the process pool: it cannot be "
+                    "pickled, so this code path silently works only in "
+                    "serial mode; use a module-level function"
+                )
+        resolved = imports.resolve(call.func)
+        if resolved is None:
+            return None
+        if resolved in _WALL_CLOCK_CALLS:
+            return (
+                f"wall-clock read '{resolved}()' in a golden-trace-"
+                "critical package; pass timestamps in explicitly (or use "
+                "time.perf_counter for duration-only probes)"
+            )
+        if resolved.startswith("numpy.random."):
+            tail = resolved.split(".")[-1]
+            if tail not in _NUMPY_RANDOM_ALLOWED:
+                return (
+                    f"legacy global-state RNG '{resolved}()' is not "
+                    "seedable per run; use numpy.random.default_rng(seed) "
+                    "and thread the generator through"
+                )
+        if resolved.startswith("random."):
+            tail = resolved.split(".")[-1]
+            if tail == "Random" and call.args:
+                return None  # seeded instance: deterministic
+            return (
+                f"global-state RNG '{resolved}()' in a golden-trace-"
+                "critical package; construct a seeded random.Random or "
+                "numpy Generator instead"
+            )
+        return None

@@ -1,0 +1,99 @@
+"""Parsed source files as the engine sees them.
+
+A :class:`ModuleSource` bundles everything a rule needs about one file:
+its dotted module name (recovered from ``__init__.py`` package structure,
+so the engine never imports analyzed code), raw lines, the parsed tree, a
+lazily built parent map, and the per-line suppressions.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional
+
+from repro.analysis.suppress import parse_suppressions
+
+
+def module_name_for_path(path: Path) -> str:
+    """Dotted module name of ``path``, walking up through packages.
+
+    ``src/repro/core/detector.py`` resolves to ``repro.core.detector``
+    because ``src/repro`` and ``src/repro/core`` carry ``__init__.py``
+    while ``src`` does not.  A file outside any package is its bare stem.
+    """
+    path = path.resolve()
+    parts: List[str] = [] if path.stem == "__init__" else [path.stem]
+    directory = path.parent
+    while (directory / "__init__.py").exists():
+        parts.insert(0, directory.name)
+        parent = directory.parent
+        if parent == directory:
+            break
+        directory = parent
+    return ".".join(parts)
+
+
+def collect_py_files(paths: List[Path]) -> List[Path]:
+    """Every ``.py`` file under ``paths``, deduplicated, sorted."""
+    seen: Dict[Path, None] = {}
+    for path in paths:
+        if path.is_dir():
+            for found in sorted(path.rglob("*.py")):
+                seen.setdefault(found.resolve(), None)
+        elif path.suffix == ".py":
+            seen.setdefault(path.resolve(), None)
+    return sorted(seen)
+
+
+@dataclass
+class ModuleSource:
+    """One parsed file plus the metadata rules key off."""
+
+    path: Path
+    display_path: str
+    module: str
+    lines: List[str]
+    tree: ast.Module
+    suppressions: Dict[int, FrozenSet[str]]
+    _parents: Optional[Dict[ast.AST, ast.AST]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @classmethod
+    def load(cls, path: Path, display_root: Optional[Path] = None) -> "ModuleSource":
+        """Parse ``path``; raises ``SyntaxError``/``OSError`` to the engine."""
+        text = path.read_text(encoding="utf-8")
+        tree = ast.parse(text, filename=str(path))
+        lines = text.splitlines()
+        display = str(path)
+        if display_root is not None:
+            try:
+                display = str(path.resolve().relative_to(display_root.resolve()))
+            except ValueError:
+                display = str(path)
+        return cls(
+            path=path,
+            display_path=display,
+            module=module_name_for_path(path),
+            lines=lines,
+            tree=tree,
+            suppressions=parse_suppressions(lines),
+        )
+
+    def line_text(self, lineno: int) -> str:
+        """Stripped text of 1-based ``lineno`` (empty when out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def parents(self) -> Dict[ast.AST, ast.AST]:
+        """Child-to-parent map over the whole tree (built once)."""
+        if self._parents is None:
+            self._parents = {
+                child: parent
+                for parent in ast.walk(self.tree)
+                for child in ast.iter_child_nodes(parent)
+            }
+        return self._parents

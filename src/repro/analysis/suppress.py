@@ -1,0 +1,50 @@
+"""Per-line lint suppressions: ``# repro: allow[RPR001]``.
+
+A finding is suppressed when the physical line it is reported on carries
+an allow comment naming its rule id (or ``*``).  Multiple ids separate
+with commas: ``# repro: allow[RPR002, RPR003]``.  Trailing prose after
+the bracket is encouraged — a suppression without a reason is a smell.
+
+Suppressions are deliberately line-scoped (no file- or block-level form):
+a waiver should be exactly as wide as the violation it waives.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, List
+
+#: Matches the allow marker anywhere in a line's trailing comment.
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_*,\s]+)\]")
+
+#: Wildcard id suppressing every rule on the line.
+ALLOW_ALL = "*"
+
+
+def parse_suppressions(lines: List[str]) -> Dict[int, FrozenSet[str]]:
+    """Map 1-based line numbers to the rule ids allowed on that line."""
+    allowed: Dict[int, FrozenSet[str]] = {}
+    for lineno, text in enumerate(lines, start=1):
+        if "repro:" not in text:
+            continue
+        match = _ALLOW_RE.search(text)
+        if match is None:
+            continue
+        ids = frozenset(
+            part.strip().upper()
+            for part in match.group(1).split(",")
+            if part.strip()
+        )
+        if ids:
+            allowed[lineno] = ids
+    return allowed
+
+
+def is_suppressed(
+    rule_id: str, line: int, suppressions: Dict[int, FrozenSet[str]]
+) -> bool:
+    """Whether ``rule_id`` is waived on ``line``."""
+    ids = suppressions.get(line)
+    if ids is None:
+        return False
+    return ALLOW_ALL in ids or rule_id.upper() in ids

@@ -85,6 +85,17 @@ DAC_FULL_SCALE_CURRENT_A = 6.0
 #: not trip it — the blind spot Table IV quantifies.)
 DAC_SAFETY_LIMIT = 24000
 
+#: Half-period of the software watchdog square wave, in control cycles:
+#: the "I'm alive" bit in USB Byte 0 toggles every this many cycles while
+#: the software believes the system is healthy.
+WATCHDOG_HALF_PERIOD_CYCLES = 8
+
+#: Seconds for the fail-safe power-off brakes to fully clamp after an
+#: engage request.  While the brakes close the motors are unpowered but
+#: the arm coasts under friction — which is how an abrupt jump can
+#: complete even after the PLC reacts.
+BRAKE_ENGAGE_DELAY_S = 0.05
+
 # ---------------------------------------------------------------------------
 # Encoders
 # ---------------------------------------------------------------------------

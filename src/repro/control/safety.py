@@ -104,7 +104,9 @@ class WatchdogGenerator:
     interprets as software failure.
     """
 
-    def __init__(self, half_period_cycles: int = 8) -> None:
+    def __init__(
+        self, half_period_cycles: int = constants.WATCHDOG_HALF_PERIOD_CYCLES
+    ) -> None:
         if half_period_cycles < 1:
             raise ValueError("half_period_cycles must be >= 1")
         self.half_period_cycles = half_period_cycles

@@ -43,6 +43,10 @@ GRAVITY = np.array([0.0, 0.0, -9.81])
 #: Step used for the directional finite difference of the Jacobian.
 _JDOT_EPS = 1e-6
 
+#: Joint-velocity norm below which Coriolis terms are treated as zero
+#: (avoids dividing by a vanishing speed in the finite difference).
+_SPEED_EPS = 1e-12
+
 
 def _solve3(m: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Solve the symmetric 3x3 system ``m @ x = b`` by Cramer's rule.
@@ -171,7 +175,7 @@ class ManipulatorDynamics:
         p = self.params
         qdot = np.asarray(qdot, dtype=float)
         speed = float(np.linalg.norm(qdot))
-        if speed < 1e-12:
+        if speed < _SPEED_EPS:
             return np.zeros(3)
         eps = _JDOT_EPS / speed
         q_ahead = np.asarray(q, dtype=float) + eps * qdot
@@ -239,7 +243,7 @@ class ManipulatorDynamics:
 
         if self.include_coriolis:
             speed = float(np.linalg.norm(qdot))
-            if speed > 1e-12:
+            if speed > _SPEED_EPS:
                 eps = _JDOT_EPS / speed
                 q_ahead = q + eps * qdot
                 j3a = self._instrument_jacobian(q_ahead)

@@ -129,10 +129,8 @@ class RavenPlant:
         )
         self.brakes_engaged = True
         #: Seconds for the fail-safe power-off brakes to fully clamp after
-        #: an engage request.  While the brakes close, the motors are
-        #: unpowered but the arm coasts under friction — which is how an
-        #: abrupt jump can complete even after the PLC reacts.
-        self.brake_delay_s = 0.05
+        #: an engage request (see :data:`repro.constants.BRAKE_ENGAGE_DELAY_S`).
+        self.brake_delay_s = constants.BRAKE_ENGAGE_DELAY_S
         self._brake_countdown: Optional[float] = None
 
     # -- state access ---------------------------------------------------------

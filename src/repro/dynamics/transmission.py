@@ -31,6 +31,9 @@ DEFAULT_GEAR_RATIOS = (32.0, 32.0, 100.0)
 #: and the elbow cable over the shoulder pulley.
 DEFAULT_COUPLING = 0.03
 
+#: Determinant magnitude below which ``G`` is treated as singular.
+_SINGULAR_DET_EPS = 1e-12
+
 
 class Transmission:
     """Rigid cable transmission with coupling between adjacent axes."""
@@ -67,7 +70,7 @@ class Transmission:
                 g[i, i - 1] = coupling * ratios[i]
         if g.ndim != 2 or g.shape[0] != g.shape[1]:
             raise DynamicsError("transmission matrix must be square")
-        if abs(np.linalg.det(g)) < 1e-12:
+        if abs(np.linalg.det(g)) < _SINGULAR_DET_EPS:
             raise DynamicsError("transmission matrix must be invertible")
         self._g = g
         self._g_inv = np.linalg.inv(g)

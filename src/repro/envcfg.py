@@ -1,0 +1,61 @@
+"""The sanctioned environment-variable shim (RPR002).
+
+Golden-trace-critical packages (``core``, ``dynamics``, ``sim``, ``hw``,
+``experiments``) must not read ``os.environ`` directly: an ambient
+environment read buried in a hot path is exactly the kind of hidden input
+that makes two "identical" runs diverge, and the static-analysis pass
+(:mod:`repro.analysis`, rule RPR002) rejects it.  Every knob instead goes
+through this module, which keeps the full set of environment inputs
+greppable in one place and gives the engine a single seam to audit.
+
+The helpers deliberately do *not* cache: chaos tests and the CLI mutate
+``os.environ`` mid-process and expect the next read to see the change.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Optional, TypeVar
+
+_T = TypeVar("_T")
+
+
+def env_str(name: str, default: str = "") -> str:
+    """The stripped value of ``name`` (``default`` when unset).
+
+    This is the single sanctioned raw ``os.environ`` read; everything in
+    the golden-trace-critical packages funnels through it.
+    """
+    return os.environ.get(name, default).strip()
+
+
+def env_is_set(name: str) -> bool:
+    """Whether ``name`` is set to a non-empty (non-whitespace) value."""
+    return bool(env_str(name))
+
+
+def env_parsed(
+    name: str, parse: Callable[[str], _T], kind: str = "a number"
+) -> Optional[_T]:
+    """Parse ``name`` with ``parse``; ``None`` when unset.
+
+    A set-but-unparseable value raises ``ValueError`` naming the variable,
+    so a typo'd knob fails loudly instead of silently using a default.
+    """
+    raw = env_str(name)
+    if not raw:
+        return None
+    try:
+        return parse(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be {kind}, got {raw!r}") from None
+
+
+def env_int(name: str) -> Optional[int]:
+    """Integer value of ``name`` (``None`` when unset)."""
+    return env_parsed(name, int, kind="an integer")
+
+
+def env_float(name: str) -> Optional[float]:
+    """Float value of ``name`` (``None`` when unset)."""
+    return env_parsed(name, float, kind="a number")

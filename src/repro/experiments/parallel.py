@@ -64,6 +64,7 @@ from typing import (
     Union,
 )
 
+from repro.envcfg import env_is_set, env_parsed
 from repro.errors import CacheCorruptionError, TaskExecutionError
 
 logger = logging.getLogger(__name__)
@@ -105,25 +106,14 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     if jobs is not None:
         return max(1, int(jobs))
     for var in ("REPRO_JOBS", "REPRO_WORKERS"):
-        raw = os.environ.get(var, "").strip()
-        if raw:
-            try:
-                return max(1, int(raw))
-            except ValueError:
-                raise ValueError(
-                    f"{var} must be an integer, got {raw!r}"
-                ) from None
+        value = env_parsed(var, int, kind="an integer")
+        if value is not None:
+            return max(1, value)
     return default_jobs()
 
 
 def _env_number(var: str, parse: Callable[[str], _T]) -> Optional[_T]:
-    raw = os.environ.get(var, "").strip()
-    if not raw:
-        return None
-    try:
-        return parse(raw)
-    except ValueError:
-        raise ValueError(f"{var} must be a number, got {raw!r}") from None
+    return env_parsed(var, parse)
 
 
 def resolve_retries(retries: Optional[int] = None) -> int:
@@ -155,7 +145,7 @@ def _injector_from_env():
     Deferred import: without ``REPRO_CHAOS_PLAN`` set the chaos subsystem
     is never imported and this is one dictionary lookup.
     """
-    if not os.environ.get("REPRO_CHAOS_PLAN", "").strip():
+    if not env_is_set("REPRO_CHAOS_PLAN"):
         return None
     from repro.testing.faults import ChaosInjector
 

@@ -9,9 +9,10 @@ and scales up when ``REPRO_SCALE=paper`` is set.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from typing import Tuple
+
+from repro.envcfg import env_str
 
 
 @dataclass(frozen=True)
@@ -119,7 +120,7 @@ def current_scale() -> Scale:
     KeyError
         If ``REPRO_SCALE`` names an unknown preset.
     """
-    name = os.environ.get("REPRO_SCALE", "default").lower()
+    name = (env_str("REPRO_SCALE") or "default").lower()
     try:
         return _PRESETS[name]
     except KeyError:

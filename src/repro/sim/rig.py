@@ -17,7 +17,6 @@ protected/unprotected replicas of the same run see identical inputs.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
@@ -30,6 +29,7 @@ from repro.control.state_machine import RobotState
 from repro.control.trajectory import Trajectory, TrajectoryLibrary
 from repro.core.pipeline import DetectorGuard, GuardSupervisor
 from repro.dynamics.plant import RavenPlant
+from repro.envcfg import env_str
 from repro.errors import SimulationError
 from repro.hw.encoder import EncoderBank
 from repro.hw.motor_controller import MotorController
@@ -194,7 +194,7 @@ class SurgicalRig:
         self.phys_injector = None
         plan = config.phys_faults
         if plan is None:
-            plan_path = os.environ.get("REPRO_PHYS_FAULT_PLAN", "").strip()
+            plan_path = env_str("REPRO_PHYS_FAULT_PLAN")
             if plan_path:
                 plan = plan_path
         if plan is not None:

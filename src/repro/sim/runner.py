@@ -100,7 +100,9 @@ class CalibrationGuard:
 
     def attach(self, board: UsbBoard) -> None:
         self._board = board
-        board.guard = self
+        # Observe-only hook: always admits the packet, so installing it
+        # outside repro.core.pipeline does not bypass any mitigation.
+        board.guard = self  # repro: allow[RPR001]
 
     def __call__(self, packet: CommandPacket, raw: bytes) -> bool:
         mpos = self._board.encoders.to_radians(self._board.encoder_counts()[:3])
@@ -349,7 +351,9 @@ class ParallelModelTap:
 
     def attach(self, board: UsbBoard) -> None:
         self._board = board
-        board.guard = self
+        # Observe-only hook: always admits the packet, so installing it
+        # outside repro.core.pipeline does not bypass any mitigation.
+        board.guard = self  # repro: allow[RPR001]
 
     def __call__(self, packet: CommandPacket, raw: bytes) -> bool:
         plant = self._board.motor_controller.plant

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.envcfg import env_str
 from repro.errors import ChaosFault
 
 #: Environment variable naming a saved :class:`FaultPlan` JSON file.
@@ -82,7 +83,7 @@ class FaultSpec:
                 f"{TASK_FAULT_KINDS + CACHE_FAULT_KINDS}"
             )
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         return {
             "kind": self.kind,
             "index": self.index,
@@ -92,7 +93,7 @@ class FaultSpec:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "FaultSpec":
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultSpec":
         return cls(
             kind=data["kind"],
             index=data.get("index"),
@@ -154,11 +155,11 @@ class FaultPlan:
 
     # -- (de)serialization -------------------------------------------------------
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         return {"seed": self.seed, "specs": [s.to_dict() for s in self.specs]}
 
     @classmethod
-    def from_dict(cls, data: dict) -> "FaultPlan":
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
         return cls(
             specs=[FaultSpec.from_dict(d) for d in data.get("specs", [])],
             seed=data.get("seed", 0),
@@ -223,7 +224,7 @@ class ChaosInjector:
     @classmethod
     def from_env(cls) -> Optional["ChaosInjector"]:
         """The injector named by ``REPRO_CHAOS_PLAN``, if any."""
-        path = os.environ.get(PLAN_ENV_VAR, "").strip()
+        path = env_str(PLAN_ENV_VAR)
         if not path:
             return None
         return cls(FaultPlan.load(path))

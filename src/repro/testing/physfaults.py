@@ -38,14 +38,14 @@ simulation is bit-identical to a build without it.
 from __future__ import annotations
 
 import json
-import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro import constants
+from repro.envcfg import env_str
 from repro.teleop.itp import corrupt_itp
 from repro.teleop.network import ChannelFault
 
@@ -121,7 +121,7 @@ class PhysFaultSpec:
             return False
         return self.stop_s is None or now < self.stop_s
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         return {
             "kind": self.kind,
             "intensity": self.intensity,
@@ -132,7 +132,7 @@ class PhysFaultSpec:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "PhysFaultSpec":
+    def from_dict(cls, data: Dict[str, Any]) -> "PhysFaultSpec":
         return cls(
             kind=data["kind"],
             intensity=data.get("intensity", 1.0),
@@ -155,7 +155,7 @@ class PhysFaultPlan:
     seed: int = 0
 
     @classmethod
-    def single(cls, kind: str, intensity: float = 1.0, seed: int = 0, **kwargs) -> "PhysFaultPlan":
+    def single(cls, kind: str, intensity: float = 1.0, seed: int = 0, **kwargs: Any) -> "PhysFaultPlan":
         """A plan with one fault of ``kind`` (convenience for sweeps)."""
         return cls(specs=[PhysFaultSpec(kind=kind, intensity=intensity, **kwargs)], seed=seed)
 
@@ -179,11 +179,11 @@ class PhysFaultPlan:
 
     # -- (de)serialization -------------------------------------------------------
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         return {"seed": self.seed, "specs": [s.to_dict() for s in self.specs]}
 
     @classmethod
-    def from_dict(cls, data: dict) -> "PhysFaultPlan":
+    def from_dict(cls, data: Dict[str, Any]) -> "PhysFaultPlan":
         return cls(
             specs=[PhysFaultSpec.from_dict(d) for d in data.get("specs", [])],
             seed=data.get("seed", 0),
@@ -203,7 +203,7 @@ class PhysFaultPlan:
     @classmethod
     def from_env(cls) -> Optional["PhysFaultPlan"]:
         """The plan named by ``REPRO_PHYS_FAULT_PLAN``, if any."""
-        path = os.environ.get(PLAN_ENV_VAR, "").strip()
+        path = env_str(PLAN_ENV_VAR)
         if not path:
             return None
         return cls.load(path)

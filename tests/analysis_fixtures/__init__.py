@@ -1,0 +1,9 @@
+"""Known-bad and known-good fixture packages for the repro.analysis tests.
+
+These modules are lint *subjects*, never imported at runtime: the engine
+parses them from disk.  ``badpkg`` holds one deliberately violating
+module per rule family; ``goodpkg`` holds the disciplined counterparts
+plus a module exercising inline suppressions.  Keep the syntax Python
+3.9-compatible — the engine must report identical findings on every CI
+interpreter.
+"""

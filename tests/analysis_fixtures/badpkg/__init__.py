@@ -1,0 +1,1 @@
+"""Deliberately violating fixture modules (one per rule family)."""

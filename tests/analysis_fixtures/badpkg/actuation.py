@@ -1,0 +1,38 @@
+"""RPR001 fixtures: guard bypass, rogue hook installs, TOCTOU windows.
+
+Every class below violates the sink-confinement discipline that
+``repro.core.pipeline`` enforces in the real tree.
+"""
+
+
+class RogueActuator:
+    """Reaches the DAC sink without going through the guarded path."""
+
+    def __init__(self, board, handler):
+        self.board = board
+        self.board.guard = handler  # hook install on a foreign object
+
+    def blast(self, values):
+        self.board._latch(values)  # direct sink call, guard never runs
+
+
+class ToctouActuator:
+    """Mutates the command *after* the guard admitted it."""
+
+    def __init__(self, board, guard):
+        self.board = board
+        self.guard = guard  # definition site on self: allowed
+
+    def send(self, packet):
+        self.guard(packet)
+        packet.dac_values[0] = 32767  # post-check mutation
+        self.board.fd_write(packet)
+
+    def relabel(self, board, data):
+        self.guard(data)
+        data = list(data)  # post-check rebind
+        board.fd_write(data)
+
+
+def hijack(board, handler):
+    setattr(board, "guard", handler)  # setattr spelling of the install

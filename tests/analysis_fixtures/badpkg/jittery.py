@@ -1,0 +1,34 @@
+"""RPR002 fixtures: hidden ambient inputs in a golden-trace package."""
+
+import datetime
+import os
+import random
+import time
+
+import numpy as np
+
+from repro.experiments.parallel import iter_tasks
+
+
+def stamp():
+    return time.time()  # wall clock
+
+
+def stamp_day():
+    return datetime.datetime.now()  # wall clock
+
+
+def noise():
+    return np.random.rand(3)  # legacy global-state RNG
+
+
+def coin():
+    return random.random()  # global-state RNG
+
+
+def knob():
+    return os.environ.get("REPRO_FIXTURE_KNOB", "")  # raw environ read
+
+
+def fan_out(tasks):
+    return list(iter_tasks(lambda task: task, tasks))  # pool lambda

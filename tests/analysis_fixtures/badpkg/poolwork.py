@@ -1,0 +1,28 @@
+"""RPR004 fixtures: unpicklable workers handed to the pool layer."""
+
+from functools import partial
+
+from repro.experiments.parallel import run_tasks
+
+
+def fan_out_nested(tasks):
+    def local_worker(task):
+        return task
+
+    return run_tasks(local_worker, tasks)  # nested def crosses the pool
+
+
+def fan_out_bound_lambda(tasks):
+    handler = lambda task: task  # noqa: E731
+    return run_tasks(handler, tasks)  # locally bound lambda
+
+
+def fan_out_inline(tasks):
+    return run_tasks(lambda task: task, tasks)  # inline lambda
+
+
+def fan_out_partial(tasks):
+    def scale(task, k):
+        return task * k
+
+    return run_tasks(partial(scale, 2), tasks)  # partial over nested def

@@ -1,0 +1,22 @@
+"""RPR003 fixtures: magic numbers vs properly named thresholds."""
+
+from dataclasses import dataclass, field
+
+SAFE_LIMIT = 123.5  # module-level constant: allowed
+
+
+@dataclass
+class Tuning:
+    gain: float = 17.25  # dataclass default: allowed
+    taps: int = 12  # dataclass default: allowed
+    knots = field(default_factory=lambda: [0.125, 8.5])  # allowed
+
+
+def threshold(x):
+    if x > 42.5:  # magic threshold inside logic: flagged
+        return x * 9000  # magic scale factor: flagged
+    return x
+
+
+def pick(values):
+    return values[3]  # subscript index: structural, allowed

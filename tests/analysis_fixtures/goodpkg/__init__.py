@@ -1,0 +1,1 @@
+"""Disciplined fixture modules: the clean version of each pattern."""

@@ -1,0 +1,28 @@
+"""Clean counterexamples: every fixture pattern done the sanctioned way."""
+
+import numpy as np
+
+from repro.envcfg import env_str
+from repro.experiments.parallel import run_tasks
+
+FIXTURE_GAIN = 2.5  # named at module level
+
+
+def module_worker(task):
+    return task
+
+
+def fan_out(tasks):
+    return run_tasks(module_worker, tasks)  # module-level worker pickles
+
+
+def noise(seed):
+    return np.random.default_rng(seed).standard_normal(3)  # seeded RNG
+
+
+def knob():
+    return env_str("REPRO_FIXTURE_KNOB")  # environment via the shim
+
+
+def send(board, packet):
+    board.fd_write(packet)  # guarded write path, no direct sink call

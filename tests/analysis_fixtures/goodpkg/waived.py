@@ -1,0 +1,17 @@
+"""Violations waived line-by-line — exercises the suppression parser."""
+
+import time
+
+from repro.experiments.parallel import run_tasks
+
+
+def stamped():
+    return time.time()  # repro: allow[RPR002]
+
+
+def fan_out(tasks):
+    return run_tasks(lambda t: t, tasks)  # repro: allow[RPR002, RPR004]
+
+
+def blast(board, values):
+    board._latch(values)  # repro: allow[*]
