@@ -1,0 +1,77 @@
+"""Extension bench: telemetry overhead — enabled vs disabled.
+
+Table II of the paper argues instrumentation in the command path is only
+viable if its per-cycle cost stays far inside the 1 ms real-time budget.
+This bench applies the same standard to our own telemetry subsystem
+(``REPRO_OBS``): it times identical fault-free runs with telemetry off
+and on, reports per-cycle cost side by side, and sanity-checks that the
+enabled mode stays within the control-period budget on this host.
+
+The bit-identity of results (enabled vs disabled) is asserted by the
+golden and flight-recorder suites; this bench covers the *time* axis.
+"""
+
+from __future__ import annotations
+
+from repro import constants
+from repro.experiments.report import format_table
+from repro.obs.runtime import reset_runtime
+from repro.obs.timing import Stopwatch
+from repro.sim.runner import run_fault_free
+
+DURATION_S = 0.5
+CYCLES = int(round(DURATION_S / constants.CONTROL_PERIOD_S))
+ROUNDS = 3
+
+
+def _best_run_seconds() -> float:
+    """Fastest of ``ROUNDS`` identical runs (min filters scheduler noise)."""
+    best = None
+    probe = Stopwatch()
+    for _ in range(ROUNDS):
+        with probe:
+            run_fault_free(seed=3, duration_s=DURATION_S)
+        if best is None or probe.elapsed_s < best:
+            best = probe.elapsed_s
+    return best
+
+
+def test_telemetry_overhead(benchmark, monkeypatch, tmp_path, artifact_writer):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    monkeypatch.delenv("REPRO_OBS", raising=False)
+    monkeypatch.delenv("REPRO_OBS_DIR", raising=False)
+    reset_runtime()
+    try:
+        off_s = _best_run_seconds()
+
+        monkeypatch.setenv("REPRO_OBS", "1")
+        monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path))
+        reset_runtime()
+        on_s = _best_run_seconds()
+    finally:
+        reset_runtime()
+
+    off_us = off_s / CYCLES * 1e6
+    on_us = on_s / CYCLES * 1e6
+    delta_us = on_us - off_us
+    rows = [
+        ["disabled (default)", f"{off_s:.3f}", f"{off_us:.1f}", "--"],
+        ["REPRO_OBS=1", f"{on_s:.3f}", f"{on_us:.1f}", f"{delta_us:+.1f}"],
+    ]
+    table = format_table(
+        ["configuration", "run [s]", "per-cycle [us]", "delta [us]"], rows
+    )
+    artifact_writer(
+        "telemetry_overhead",
+        f"Telemetry overhead ({CYCLES} cycles, best of {ROUNDS})\n{table}",
+    )
+
+    # Wide, host-independent sanity bounds: both modes stay inside the
+    # 1 ms control period per cycle, and telemetry cannot multiply the
+    # per-cycle cost (it adds histogram increments and ring appends).
+    budget_us = constants.CONTROL_PERIOD_S * 1e6
+    assert on_us < budget_us, f"enabled telemetry blows the budget: {on_us:.1f}us"
+    assert on_us < off_us * 3 + 100.0, (
+        f"telemetry overhead out of line: {off_us:.1f}us -> {on_us:.1f}us"
+    )

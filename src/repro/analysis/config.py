@@ -61,9 +61,14 @@ class AnalysisConfig:
         "repro.sim",
         "repro.hw",
         "repro.experiments",
+        "repro.obs",
     )
     #: The only modules allowed to read ``os.environ`` raw.
     env_shim_modules: Tuple[str, ...] = ("repro.envcfg",)
+    #: The only modules allowed to call the monotonic clock directly;
+    #: everything else takes duration probes through their Stopwatch /
+    #: monotonic_s API so timing instrumentation stays in one seam.
+    timing_probe_modules: Tuple[str, ...] = ("repro.obs.timing",)
 
     # -- RPR002 + RPR004: process-pool entry points -----------------------------
     #: Callable names that move work onto worker processes; their first

@@ -6,7 +6,11 @@ and seed.  Inside the critical packages this rule rejects the ambient
 inputs that silently break it:
 
 - wall-clock reads that feed values (``time.time``, ``datetime.now``,
-  ...) — monotonic duration probes (``perf_counter``) stay allowed;
+  ...);
+- bare monotonic duration probes (``time.perf_counter`` and friends)
+  outside the sanctioned timing seam (:mod:`repro.obs.timing`) — duration
+  probes are legitimate, but they must go through ``Stopwatch`` /
+  ``monotonic_s`` so one grep finds every timing site;
 - the legacy global-state RNG APIs (``random.random``,
   ``numpy.random.rand``, ``RandomState``, ...) — explicit generators
   (``numpy.random.default_rng``, seeded ``random.Random``) stay allowed;
@@ -57,6 +61,17 @@ _NUMPY_RANDOM_ALLOWED = frozenset(
     }
 )
 
+#: Monotonic clock reads: fine for durations, but only inside the
+#: sanctioned timing seam (``AnalysisConfig.timing_probe_modules``).
+_MONOTONIC_CLOCK_CALLS = frozenset(
+    {
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+    }
+)
+
 #: os.environ access spellings (reads and writes both count).
 _ENVIRON_NAMES = frozenset({"os.environ", "os.getenv", "os.putenv"})
 
@@ -66,8 +81,9 @@ class DeterminismRule(Rule):
 
     rule_id = "RPR002"
     summary = (
-        "wall-clock reads, global-state RNG, raw os.environ access, and "
-        "pool-crossing lambdas in golden-trace-critical packages"
+        "wall-clock reads, bare monotonic timing probes, global-state "
+        "RNG, raw os.environ access, and pool-crossing lambdas in "
+        "golden-trace-critical packages"
     )
 
     def check(
@@ -80,7 +96,9 @@ class DeterminismRule(Rule):
         imports = ImportMap(module)
         for node in ast.walk(module.tree):
             if isinstance(node, ast.Call):
-                message = self._call_violation(node, imports, config)
+                message = self._call_violation(
+                    node, imports, config, module.module
+                )
                 if message is not None:
                     yield self.finding(module, node, message)
             elif isinstance(node, (ast.Attribute, ast.Name)):
@@ -96,7 +114,11 @@ class DeterminismRule(Rule):
                     )
 
     def _call_violation(
-        self, call: ast.Call, imports: ImportMap, config: AnalysisConfig
+        self,
+        call: ast.Call,
+        imports: ImportMap,
+        config: AnalysisConfig,
+        module_name: str,
     ) -> Optional[str]:
         if pool_entry_call(call, config):
             worker = pool_worker_arg(call)
@@ -113,7 +135,16 @@ class DeterminismRule(Rule):
             return (
                 f"wall-clock read '{resolved}()' in a golden-trace-"
                 "critical package; pass timestamps in explicitly (or use "
-                "time.perf_counter for duration-only probes)"
+                "repro.obs.timing for duration-only probes)"
+            )
+        if resolved in _MONOTONIC_CLOCK_CALLS and not module_matches(
+            module_name, config.timing_probe_modules
+        ):
+            return (
+                f"bare monotonic timing probe '{resolved}()' outside the "
+                "sanctioned timing seam; use repro.obs.timing "
+                "(Stopwatch / monotonic_s) so every duration probe is "
+                "auditable in one place"
             )
         if resolved.startswith("numpy.random."):
             tail = resolved.split(".")[-1]

@@ -23,10 +23,10 @@ It also reproduces the paper's two criticisms (Section III.D):
 from __future__ import annotations
 
 import hashlib
-import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.obs.timing import Stopwatch
 from repro.sysmodel.linker import SystemEnvironment
 from repro.sysmodel.process import Process
 from repro.sysmodel.syscalls import SYSCALL_NAMES
@@ -99,9 +99,9 @@ class AttestationMonitor:
         """
         if self._baseline is None:
             raise RuntimeError("attestation baseline not enrolled")
-        t0 = time.perf_counter()
-        measurement = _measure_process(self.process, self.environment)
-        elapsed = time.perf_counter() - t0
+        with Stopwatch() as probe:
+            measurement = _measure_process(self.process, self.environment)
+        elapsed = probe.elapsed_s
         report = AttestationReport(
             cycle=self._cycle,
             measurement=measurement,

@@ -29,6 +29,8 @@ import numpy as np
 from repro.core.estimator import StateEstimate
 from repro.core.thresholds import VARIABLE_GROUPS, SafetyThresholds
 from repro.errors import DetectorError
+from repro.obs.metrics import MARGIN_RATIO_BUCKETS
+from repro.obs.runtime import get_runtime
 
 
 class FusionRule(enum.Enum):
@@ -123,6 +125,29 @@ class AnomalyDetector:
         )
         self.evaluations = 0
         self.alerts = 0
+        # Telemetry (REPRO_OBS): alarm-path counters and a histogram of
+        # the per-cycle worst margin ratio.  All None when disabled, so
+        # the evaluate() hot path pays a single is-None branch.
+        obs = get_runtime()
+        if obs.enabled:
+            registry = obs.registry
+            self._obs_evaluations = registry.counter(
+                "repro_detector_evaluations_total",
+                "commands evaluated by the anomaly detector",
+            )
+            self._obs_alerts = registry.counter(
+                "repro_detector_alerts_total",
+                "post-debounce detector alerts",
+            )
+            self._obs_margin = registry.histogram(
+                "repro_detector_margin_ratio",
+                "per-cycle worst margin ratio (value / threshold)",
+                buckets=MARGIN_RATIO_BUCKETS,
+            )
+        else:
+            self._obs_evaluations = None
+            self._obs_alerts = None
+            self._obs_margin = None
 
     @property
     def thresholds(self) -> SafetyThresholds:
@@ -164,6 +189,11 @@ class AnomalyDetector:
         self.evaluations += 1
         if alert:
             self.alerts += 1
+        if self._obs_evaluations is not None:
+            self._obs_evaluations.inc()
+            self._obs_margin.observe(max(margins.values()))
+            if alert:
+                self._obs_alerts.inc()
         return DetectionResult(
             alert=alert, alarms=alarms, margins=margins, raw_alert=raw_alert
         )

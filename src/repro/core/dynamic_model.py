@@ -22,7 +22,6 @@ mirroring the paper's setup:
 
 from __future__ import annotations
 
-import time
 from typing import Optional, Sequence
 
 import numpy as np
@@ -34,6 +33,8 @@ from repro.dynamics.manipulator import ManipulatorDynamics, ManipulatorParameter
 from repro.dynamics.motor import MotorParameters
 from repro.dynamics.plant import DEFAULT_MOTORS, dac_to_current
 from repro.dynamics.transmission import Transmission
+from repro.obs.runtime import get_runtime
+from repro.obs.timing import Stopwatch
 
 
 class ModelPrediction:
@@ -111,6 +112,17 @@ class RavenDynamicModel:
         #: Cumulative wall-clock statistics of :meth:`predict` (Figure 8).
         self.predict_calls = 0
         self.predict_seconds = 0.0
+        # Telemetry (REPRO_OBS): per-prediction latency histogram.  None
+        # when disabled, so the hot path pays one is-None branch.
+        obs = get_runtime()
+        self._predict_hist = (
+            obs.registry.histogram(
+                "repro_model_predict_seconds",
+                "one-step dynamic-model prediction latency",
+            )
+            if obs.enabled
+            else None
+        )
 
     # -- state-to-state prediction ------------------------------------------------
 
@@ -145,11 +157,13 @@ class RavenDynamicModel:
         "Avg. Time/Step"; it must stay well below the 1 ms real-time
         budget for the detector to run in-line with the control loop.
         """
-        t0 = time.perf_counter()
-        jpos_next, jvel_next = self.step(jpos, jvel, dac_values)
-        elapsed = time.perf_counter() - t0
+        with Stopwatch() as probe:
+            jpos_next, jvel_next = self.step(jpos, jvel, dac_values)
+        elapsed = probe.elapsed_s
         self.predict_calls += 1
         self.predict_seconds += elapsed
+        if self._predict_hist is not None:
+            self._predict_hist.observe(elapsed)
         return ModelPrediction(
             jpos=jpos_next,
             jvel=jvel_next,

@@ -38,11 +38,13 @@ import numpy as np
 
 from repro.control.state_machine import RobotState
 from repro.core.detector import AnomalyDetector, DetectionResult
-from repro.core.estimator import NextStateEstimator
+from repro.core.estimator import NextStateEstimator, StateEstimate
 from repro.core.mitigation import MitigationStrategy
 from repro.errors import DetectorError
 from repro.hw.usb_board import UsbBoard
 from repro.hw.usb_packet import CommandPacket
+from repro.obs.runtime import get_runtime
+from repro.obs.timing import Stopwatch
 
 
 class GuardHealth(enum.Enum):
@@ -155,6 +157,39 @@ class DetectorGuard:
         self._board: Optional[UsbBoard] = None
         self._cycle = 0
         self._block_streak = 0
+        # Forensic stash read by the flight recorder each control cycle:
+        # the most recent evaluation, the estimate it was based on, the
+        # DAC values the guard actually saw (post-tamper, in scenario B
+        # they differ from what the controller commanded), and whether
+        # the command was blocked.  All None/False on unevaluated cycles.
+        self.last_evaluation: Optional[DetectionResult] = None
+        self.last_estimate: Optional[StateEstimate] = None
+        self.last_dac: Optional[Tuple[int, ...]] = None
+        self.last_blocked = False
+        # Telemetry (REPRO_OBS): guard-decision counters and evaluation
+        # latency.  None when disabled — the per-packet path then pays
+        # only is-None branches, keeping the disabled build overhead-free.
+        obs = get_runtime()
+        if obs.enabled:
+            registry = obs.registry
+            self._obs_packets = registry.counter(
+                "repro_guard_packets_total", "command packets seen"
+            )
+            self._obs_alerts = registry.counter(
+                "repro_guard_alerts_total", "detector alerts acted on"
+            )
+            self._obs_blocked = registry.counter(
+                "repro_guard_blocked_total", "command packets blocked"
+            )
+            self._obs_eval_seconds = registry.histogram(
+                "repro_guard_eval_seconds",
+                "estimator + detector latency per evaluated packet",
+            )
+        else:
+            self._obs_packets = None
+            self._obs_alerts = None
+            self._obs_blocked = None
+            self._obs_eval_seconds = None
 
     def attach(self, board: UsbBoard) -> None:
         """Install this guard on a USB board."""
@@ -169,6 +204,10 @@ class DetectorGuard:
         self.stats = GuardStats()
         self._cycle = 0
         self._block_streak = 0
+        self.last_evaluation = None
+        self.last_estimate = None
+        self.last_dac = None
+        self.last_blocked = False
 
     def tick_cycle(self, cycle: int) -> None:
         """Per-control-cycle hook from the simulation loop.
@@ -202,6 +241,12 @@ class DetectorGuard:
             raise DetectorError("guard not attached to a USB board")
         self._cycle += 1
         self.stats.packets_seen += 1
+        self.last_evaluation = None
+        self.last_estimate = None
+        self.last_dac = tuple(packet.dac_values)
+        self.last_blocked = False
+        if self._obs_packets is not None:
+            self._obs_packets.inc()
 
         if mpos is not None:
             # Same measurement stream the control software uses.
@@ -219,18 +264,31 @@ class DetectorGuard:
             # from, so nothing can be evaluated yet.
             return True
 
-        estimate = self.estimator.estimate(packet.dac_values[:3])
-        result = self.detector.evaluate(estimate)
+        if self._obs_eval_seconds is not None:
+            with Stopwatch() as probe:
+                estimate = self.estimator.estimate(packet.dac_values[:3])
+                result = self.detector.evaluate(estimate)
+            self._obs_eval_seconds.observe(probe.elapsed_s)
+        else:
+            estimate = self.estimator.estimate(packet.dac_values[:3])
+            result = self.detector.evaluate(estimate)
         self.stats.packets_evaluated += 1
+        self.last_estimate = estimate
+        self.last_evaluation = result
         if not result.alert:
             self._block_streak = 0
             return True
 
         self.stats.alerts += 1
+        if self._obs_alerts is not None:
+            self._obs_alerts.inc()
         blocked = self.strategy.blocks
+        self.last_blocked = blocked
         if blocked:
             self.stats.blocked += 1
             self._block_streak += 1
+            if self._obs_blocked is not None:
+                self._obs_blocked.inc()
         if len(self.stats.alert_events) < self.max_recorded_alerts:
             self.stats.alert_events.append(
                 AlertEvent(
@@ -336,6 +394,26 @@ class GuardSupervisor:
         """Current health state."""
         return self.stats.health
 
+    @property
+    def last_evaluation(self) -> Optional[DetectionResult]:
+        """The wrapped guard's most recent evaluation (flight recorder)."""
+        return self.guard.last_evaluation
+
+    @property
+    def last_estimate(self) -> Optional[StateEstimate]:
+        """The wrapped guard's most recent state estimate."""
+        return self.guard.last_estimate
+
+    @property
+    def last_dac(self) -> Optional[Tuple[int, ...]]:
+        """DAC values of the last packet the wrapped guard inspected."""
+        return self.guard.last_dac
+
+    @property
+    def last_blocked(self) -> bool:
+        """Whether the last inspected packet was blocked."""
+        return self.guard.last_blocked
+
     def attach(self, board: UsbBoard) -> None:
         """Install the supervisor (not the bare guard) on a USB board."""
         self._board = board
@@ -388,7 +466,13 @@ class GuardSupervisor:
         self._last_packet_cycle = self._cycle
         if self.stats.health is GuardHealth.ESTOPPED:
             # Post-escalation packets are not evaluated; the PLC holds the
-            # robot and the operator must clear the E-STOP.
+            # robot and the operator must clear the E-STOP.  Clear the
+            # forensic stash so the flight recorder does not attribute a
+            # stale evaluation to these cycles.
+            self.guard.last_evaluation = None
+            self.guard.last_estimate = None
+            self.guard.last_dac = tuple(packet.dac_values)
+            self.guard.last_blocked = True
             return False
 
         mpos = self.guard.read_measurement()

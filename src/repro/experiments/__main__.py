@@ -15,10 +15,10 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import Callable, Dict
 
 from repro.experiments.scale import current_scale
+from repro.obs.timing import Stopwatch
 
 
 def _table1(jobs=None) -> str:
@@ -138,10 +138,10 @@ def main(argv=None) -> int:
     scale = current_scale()
     print(f"scale: {scale.name} (set REPRO_SCALE to change)\n")
     for name in names:
-        t0 = time.perf_counter()
-        print(f"=== {name} ===")
-        print(ARTIFACTS[name](jobs=args.jobs))
-        print(f"[{name} done in {time.perf_counter() - t0:.1f}s]\n")
+        with Stopwatch() as probe:
+            print(f"=== {name} ===")
+            print(ARTIFACTS[name](jobs=args.jobs))
+        print(f"[{name} done in {probe.elapsed_s:.1f}s]\n")
     return 0
 
 

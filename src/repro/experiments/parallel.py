@@ -66,6 +66,8 @@ from typing import (
 
 from repro.envcfg import env_is_set, env_parsed
 from repro.errors import CacheCorruptionError, TaskExecutionError
+from repro.obs.runtime import get_runtime
+from repro.obs.timing import monotonic_s
 
 logger = logging.getLogger(__name__)
 
@@ -162,6 +164,40 @@ def _backoff(backoff_s: float, attempt: int) -> None:
         time.sleep(min(BACKOFF_CAP_S, backoff_s * (2 ** (attempt - 1))))
 
 
+class _TaskSpan:
+    """Envelope returned by :class:`_SpanTask`: worker result + timing."""
+
+    __slots__ = ("result", "start_s", "dur_s", "pid")
+
+    def __init__(self, result: Any, start_s: float, dur_s: float, pid: int):
+        self.result = result
+        self.start_s = start_s
+        self.dur_s = dur_s
+        self.pid = pid
+
+
+class _SpanTask:
+    """Picklable wrapper that times one task on the worker's own clock.
+
+    Installed outermost (around any chaos wrapper) only when telemetry is
+    enabled; the parent unwraps the envelope before yielding, so results
+    stay bit-identical to an uninstrumented run.  On Linux, worker
+    processes share the parent's ``CLOCK_MONOTONIC`` epoch, so the start
+    offsets line up with the parent tracer's origin and merged spans land
+    in per-worker trace lanes keyed by pid.
+    """
+
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: Callable[[Any], Any]):
+        self.inner = inner
+
+    def __call__(self, arg: Any) -> _TaskSpan:
+        start = monotonic_s()
+        result = self.inner(arg)
+        return _TaskSpan(result, start, monotonic_s() - start, os.getpid())
+
+
 def iter_tasks(
     worker: Callable[[_T], _R],
     tasks: Sequence[_T],
@@ -207,6 +243,31 @@ def iter_tasks(
         injector = _injector_from_env()
     chaos = injector is not None and injector.wants_task_faults
     call = injector.wrap(worker) if chaos else worker
+    # Telemetry (REPRO_OBS): time each task in the process that runs it
+    # and merge the spans into the parent tracer as it consumes results.
+    obs = get_runtime()
+    if obs.enabled:
+        call = _SpanTask(call)
+        task_seconds = obs.registry.histogram(
+            "repro_engine_task_seconds", "per-task wall time in the engine"
+        )
+        tasks_total = obs.registry.counter(
+            "repro_engine_tasks_total", "tasks executed by the engine"
+        )
+
+    def emit(result: Any, index: int) -> _R:
+        if not isinstance(result, _TaskSpan):
+            return result
+        obs.tracer.add_span(
+            f"{label}[{index}]",
+            start_s=result.start_s,
+            dur_s=result.dur_s,
+            cat="task",
+            tid=result.pid,
+        )
+        task_seconds.observe(result.dur_s)
+        tasks_total.inc()
+        return result.result
 
     def submit_arg(index: int, attempt: int):
         return (index, attempt, tasks[index]) if chaos else tasks[index]
@@ -231,7 +292,7 @@ def iter_tasks(
 
     if jobs == 1 or total <= 1:
         for i in range(total):
-            yield serial_attempts(i)
+            yield emit(serial_attempts(i), i)
             if progress:
                 progress(f"{label}: {i + 1}/{total} done (serial)")
         return
@@ -281,7 +342,7 @@ def iter_tasks(
                         future = pool.submit(call, submit_arg(i, attempt))
                     except Exception:  # pool shut down between checks
                         broken = True
-            yield result
+            yield emit(result, i)
             if progress:
                 mode = "serial fallback" if broken else f"{jobs} jobs"
                 progress(f"{label}: {i + 1}/{total} done ({mode})")

@@ -17,7 +17,6 @@ far inside the 1 ms real-time budget — is the claim under test.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, List
 
@@ -29,6 +28,7 @@ from repro.attacks.malware import PedalDownTrigger
 from repro.control.state_machine import RobotState
 from repro.experiments.report import format_table
 from repro.hw.usb_packet import encode_command_packet
+from repro.obs.timing import Stopwatch
 from repro.sysmodel.linker import DynamicLinker, SystemEnvironment
 from repro.teleop.network import LoopbackExfiltration
 
@@ -74,10 +74,11 @@ def _pedal_down_packet() -> bytes:
 def _time_writes(process, fd: int, packet: bytes, samples: int) -> np.ndarray:
     times = np.empty(samples)
     write = process.write
+    probe = Stopwatch()
     for i in range(samples):
-        t0 = time.perf_counter()
-        write(fd, packet)
-        times[i] = time.perf_counter() - t0
+        with probe:
+            write(fd, packet)
+        times[i] = probe.elapsed_s
     return times
 
 

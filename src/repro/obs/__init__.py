@@ -1,0 +1,57 @@
+"""``repro.obs`` — telemetry and flight-recorder subsystem.
+
+Cycle-level observability for the whole pipeline, gated behind the
+``REPRO_OBS`` environment variable and **bit-identical to an
+uninstrumented build when disabled**: telemetry only ever *measures*
+(monotonic durations, counters, per-cycle snapshots) and never feeds a
+value back into the simulation, so golden-trace fingerprints do not move
+whether it is on or off.
+
+Pieces:
+
+- :mod:`repro.obs.timing` — ``Stopwatch``/``monotonic_s``, the single
+  sanctioned home of ``perf_counter`` pairs (enforced by RPR002);
+- :mod:`repro.obs.metrics` — counters, gauges, fixed-bucket histograms
+  and the :class:`MetricsRegistry`;
+- :mod:`repro.obs.tracer` — span tracer with Chrome ``trace_event``
+  export (``about:tracing`` / Perfetto);
+- :mod:`repro.obs.flight` — the flight recorder: a bounded ring of
+  per-cycle forensic records dumped as a JSONL black box on
+  alarm/block/E-STOP;
+- :mod:`repro.obs.runtime` — the env-gated per-process runtime;
+- ``python -m repro.obs`` — summarize/validate recorded telemetry.
+"""
+
+from repro.obs.flight import CycleRecord, FlightRecorder
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_TIME_BUCKETS_S,
+    Gauge,
+    Histogram,
+    MARGIN_RATIO_BUCKETS,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.runtime import ObsRuntime, get_runtime, reset_runtime
+from repro.obs.timing import Stopwatch, monotonic_s
+from repro.obs.tracer import NullTracer, Span, SpanTracer
+
+__all__ = [
+    "Counter",
+    "CycleRecord",
+    "DEFAULT_TIME_BUCKETS_S",
+    "FlightRecorder",
+    "Gauge",
+    "Histogram",
+    "MARGIN_RATIO_BUCKETS",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NullTracer",
+    "ObsRuntime",
+    "Span",
+    "SpanTracer",
+    "Stopwatch",
+    "get_runtime",
+    "monotonic_s",
+    "reset_runtime",
+]

@@ -1,0 +1,164 @@
+"""Command-line reader for recorded telemetry::
+
+    python -m repro.obs summary obs/                  # whole export dir
+    python -m repro.obs summary obs/flight/flight-*.jsonl
+    python -m repro.obs flight obs/flight/flight-*.jsonl --last 20
+    python -m repro.obs validate-trace obs/trace.json
+
+``summary`` prints the header and aggregate statistics of a flight dump
+or JSONL event log (given a directory, it summarizes every JSONL
+telemetry file found under it); ``flight`` prints a per-cycle table of
+the recorded black box; ``validate-trace`` checks that an exported
+Chrome trace parses and is structurally sound (exit code 1 when it is
+not).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.obs.export import read_jsonl, validate_chrome_trace
+from repro.obs.flight import FlightRecorder
+
+
+def _fmt3(values: object) -> str:
+    if not isinstance(values, list):
+        return "-"
+    return "[" + ", ".join(f"{float(v):+.4g}" for v in values) + "]"
+
+
+def _max_margin(row: dict) -> Optional[float]:
+    margins = row.get("margins")
+    if not isinstance(margins, dict) or not margins:
+        return None
+    return max(float(v) for v in margins.values())
+
+
+def _summarize_flight(path: Path) -> int:
+    header, rows = FlightRecorder.load(path)
+    print(f"flight dump: {path}")
+    print(f"  reason:           {header.get('reason')}")
+    print(f"  ring capacity:    {header.get('capacity')}")
+    print(f"  cycles recorded:  {header.get('cycles_recorded')}")
+    print(f"  cycles in dump:   {header.get('cycles_in_dump')}")
+    context = header.get("context") or {}
+    for key in sorted(context):
+        print(f"  context.{key}: {context[key]}")
+    if rows:
+        alerts = [r for r in rows if r.get("alert")]
+        blocked = [r for r in rows if r.get("blocked")]
+        margins = [m for m in (_max_margin(r) for r in rows) if m is not None]
+        print(f"  cycle span:       {rows[0]['cycle']}..{rows[-1]['cycle']}")
+        print(f"  alert cycles:     {len(alerts)}"
+              + (f" (first {alerts[0]['cycle']})" if alerts else ""))
+        print(f"  blocked cycles:   {len(blocked)}")
+        if margins:
+            print(f"  peak margin:      {max(margins):.3f}x threshold")
+        healths = sorted({str(r.get("health")) for r in rows})
+        print(f"  health states:    {', '.join(healths)}")
+    return 0
+
+
+def _summarize_events(path: Path) -> int:
+    rows = read_jsonl(path)
+    print(f"event log: {path} ({len(rows)} events)")
+    counts: dict = {}
+    for row in rows:
+        counts[row.get("event", "?")] = counts.get(row.get("event", "?"), 0) + 1
+    for kind in sorted(counts):
+        print(f"  {kind}: {counts[kind]}")
+    return 0
+
+
+def cmd_summary(path: Path) -> int:
+    """Dispatch on the file's first line (or recurse over a directory)."""
+    if path.is_dir():
+        files = sorted(path.rglob("*.jsonl"))
+        if not files:
+            print(f"{path}: no JSONL telemetry files found", file=sys.stderr)
+            return 1
+        status = 0
+        for i, file in enumerate(files):
+            if i:
+                print()
+            status = max(status, cmd_summary(file))
+        return status
+    first = path.read_text().splitlines()[:1]
+    if first and '"kind": "flight"' in first[0]:
+        return _summarize_flight(path)
+    try:
+        json.loads(first[0]) if first else None
+    except json.JSONDecodeError:
+        print(f"{path}: not a JSONL telemetry file", file=sys.stderr)
+        return 1
+    return _summarize_events(path)
+
+
+def cmd_flight(path: Path, last: int) -> int:
+    header, rows = FlightRecorder.load(path)
+    print(
+        f"# {path} — reason={header.get('reason')} "
+        f"({header.get('cycles_in_dump')} cycles)"
+    )
+    print(
+        f"{'cycle':>7} {'t_s':>7} {'state':<12} {'margin':>7} "
+        f"{'alert':>5} {'block':>5} {'health':<9} dac_seen"
+    )
+    for row in rows[-last:]:
+        margin = _max_margin(row)
+        print(
+            f"{row['cycle']:>7} {row['t']:>7.3f} {str(row['state']):<12} "
+            f"{('-' if margin is None else f'{margin:.2f}'):>7} "
+            f"{str(bool(row.get('alert'))):>5} "
+            f"{str(bool(row.get('blocked'))):>5} "
+            f"{str(row.get('health')):<9} {_fmt3(row.get('dac_seen'))}"
+        )
+    return 0
+
+
+def cmd_validate_trace(path: Path) -> int:
+    ok, message = validate_chrome_trace(path)
+    print(f"{path}: {'OK' if ok else 'INVALID'} — {message}")
+    return 0 if ok else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_summary = sub.add_parser(
+        "summary", help="summarize a flight dump or event log"
+    )
+    p_summary.add_argument("path", type=Path)
+
+    p_flight = sub.add_parser(
+        "flight", help="print the per-cycle table of a flight dump"
+    )
+    p_flight.add_argument("path", type=Path)
+    p_flight.add_argument(
+        "--last", type=int, default=30,
+        help="how many trailing cycles to print (default 30)",
+    )
+
+    p_validate = sub.add_parser(
+        "validate-trace", help="validate an exported Chrome trace JSON"
+    )
+    p_validate.add_argument("path", type=Path)
+
+    args = parser.parse_args(argv)
+    if args.command == "summary":
+        return cmd_summary(args.path)
+    if args.command == "flight":
+        return cmd_flight(args.path, max(1, args.last))
+    return cmd_validate_trace(args.path)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,85 @@
+"""Exporters: JSONL event logs, Prometheus text, Chrome trace JSON.
+
+Everything here is plain-file output of already-collected telemetry; no
+exporter ever feeds a value back into the pipeline, so exporting cannot
+perturb a run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Tuple, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import SpanTracer
+
+
+def write_text(path: Union[str, Path], text: str) -> Path:
+    """Write ``text`` to ``path``, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    return path
+
+
+def write_jsonl(path: Union[str, Path], rows: Iterable[dict]) -> Path:
+    """Write one JSON object per line."""
+    return write_text(
+        path, "".join(json.dumps(row) + "\n" for row in rows)
+    )
+
+
+def read_jsonl(path: Union[str, Path]) -> List[dict]:
+    """Read a JSONL file back into a list of dicts."""
+    return [
+        json.loads(line)
+        for line in Path(path).read_text().splitlines()
+        if line.strip()
+    ]
+
+
+def write_prometheus(path: Union[str, Path], registry: MetricsRegistry) -> Path:
+    """Dump the registry in the Prometheus text exposition format."""
+    return write_text(path, registry.to_prometheus())
+
+
+def write_chrome_trace(
+    path: Union[str, Path], tracer: SpanTracer, process_name: str = "repro"
+) -> Path:
+    """Dump the tracer as Chrome ``trace_event`` JSON."""
+    return write_text(
+        path, json.dumps(tracer.to_chrome(process_name=process_name))
+    )
+
+
+def validate_chrome_trace(path: Union[str, Path]) -> Tuple[bool, str]:
+    """Whether ``path`` parses as a usable Chrome trace.
+
+    Checks the structural contract ``about:tracing``/Perfetto relies on:
+    a ``traceEvents`` list whose entries carry a phase and a name, with
+    numeric non-negative ``ts``/``dur`` on complete (``X``) events.
+    Returns ``(ok, message)``.
+    """
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+        return False, f"unreadable or invalid JSON: {exc}"
+    if not isinstance(payload, dict):
+        return False, "top level must be an object"
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return False, "missing traceEvents list"
+    complete = 0
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            return False, f"event {i} is not an object"
+        if "ph" not in event or "name" not in event:
+            return False, f"event {i} lacks ph/name"
+        if event["ph"] == "X":
+            complete += 1
+            for key in ("ts", "dur"):
+                value = event.get(key)
+                if not isinstance(value, (int, float)) or value < 0:
+                    return False, f"event {i} has invalid {key}: {value!r}"
+    return True, f"{len(events)} events ({complete} spans)"

@@ -1,0 +1,181 @@
+"""The flight recorder: a bounded ring of per-cycle forensic records.
+
+A surgical-robot incident is only as analyzable as the evidence it
+leaves behind.  The recorder keeps the last ``capacity`` control cycles
+— commanded DAC vs. the DAC the USB board actually saw, measured vs.
+model-estimated motor/joint state, the detector's per-group margins
+against its thresholds, and the :class:`~repro.core.pipeline.GuardHealth`
+state — in a fixed-size ring, and dumps them as a JSONL "black box" when
+something goes wrong (first alarm, first blocked command, E-STOP).
+
+Recording holds *references* to the per-cycle arrays (the same objects
+the run trace stores), so the per-cycle cost is one ring append;
+JSON conversion happens only at dump time.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import Deque, Dict, List, Optional, Tuple, Union
+
+#: Default ring size: at a 1 ms control period this is ~1 s of history
+#: leading up to an incident, matching the horizon the paper's incident
+#: reconstructions examine.
+DEFAULT_FLIGHT_CYCLES = 1024
+
+#: Schema tag written into every dump header.
+FLIGHT_SCHEMA = 1
+
+
+def _jsonable(value: object) -> object:
+    """Convert numpy arrays/scalars (and containers) to JSON natives."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    tolist = getattr(value, "tolist", None)
+    if tolist is not None:
+        return tolist()
+    item = getattr(value, "item", None)
+    if item is not None:
+        return item()
+    return str(value)
+
+
+class CycleRecord:
+    """One control cycle's forensic snapshot (references, not copies)."""
+
+    __slots__ = (
+        "cycle", "t", "state",
+        "dac_commanded", "dac_seen",
+        "jpos", "jvel", "mpos",
+        "est_motor_velocity", "est_motor_acceleration", "est_joint_velocity",
+        "est_jpos_next",
+        "margins", "alarms", "alert", "raw_alert", "blocked", "health",
+    )
+
+    def __init__(
+        self,
+        cycle: int,
+        t: float,
+        state: str,
+        dac_commanded: object = None,
+        dac_seen: object = None,
+        jpos: object = None,
+        jvel: object = None,
+        mpos: object = None,
+        est_motor_velocity: object = None,
+        est_motor_acceleration: object = None,
+        est_joint_velocity: object = None,
+        est_jpos_next: object = None,
+        margins: Optional[Dict[str, float]] = None,
+        alarms: Optional[Dict[str, bool]] = None,
+        alert: Optional[bool] = None,
+        raw_alert: Optional[bool] = None,
+        blocked: Optional[bool] = None,
+        health: Optional[str] = None,
+    ) -> None:
+        self.cycle = cycle
+        self.t = t
+        self.state = state
+        self.dac_commanded = dac_commanded
+        self.dac_seen = dac_seen
+        self.jpos = jpos
+        self.jvel = jvel
+        self.mpos = mpos
+        self.est_motor_velocity = est_motor_velocity
+        self.est_motor_acceleration = est_motor_acceleration
+        self.est_joint_velocity = est_joint_velocity
+        self.est_jpos_next = est_jpos_next
+        self.margins = margins
+        self.alarms = alarms
+        self.alert = alert
+        self.raw_alert = raw_alert
+        self.blocked = blocked
+        self.health = health
+
+    def to_dict(self) -> dict:
+        """JSON-native view of the record."""
+        return {name: _jsonable(getattr(self, name)) for name in self.__slots__}
+
+
+class FlightRecorder:
+    """Bounded ring buffer of :class:`CycleRecord`."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_FLIGHT_CYCLES,
+        context: Optional[dict] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("flight recorder capacity must be >= 1")
+        self.capacity = capacity
+        #: Static run context (seed, trajectory, thresholds, ...) written
+        #: into every dump header.
+        self.context = dict(context or {})
+        self._ring: Deque[CycleRecord] = deque(maxlen=capacity)
+        self.cycles_recorded = 0
+        self.dumps: List[Path] = []
+
+    def record_cycle(self, cycle: int, t: float, state: str, **fields: object
+                     ) -> CycleRecord:
+        """Append one cycle; evicts the oldest record when full."""
+        record = CycleRecord(cycle=cycle, t=t, state=state, **fields)
+        self._ring.append(record)
+        self.cycles_recorded += 1
+        return record
+
+    def annotate(self, **fields: object) -> None:
+        """Attach/overwrite fields on the most recent record."""
+        if not self._ring:
+            return
+        record = self._ring[-1]
+        for name, value in fields.items():
+            setattr(record, name, value)
+
+    def records(self) -> List[CycleRecord]:
+        """Ring contents, oldest first."""
+        return list(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    # -- dumping -----------------------------------------------------------------
+
+    def header(self, reason: str) -> dict:
+        """The dump's first JSONL line."""
+        return {
+            "kind": "flight",
+            "schema": FLIGHT_SCHEMA,
+            "reason": reason,
+            "capacity": self.capacity,
+            "cycles_recorded": self.cycles_recorded,
+            "cycles_in_dump": len(self._ring),
+            "context": _jsonable(self.context),
+        }
+
+    def dump(self, path: Union[str, Path], reason: str = "manual") -> Path:
+        """Write header + one JSONL line per retained cycle to ``path``."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w") as handle:
+            handle.write(json.dumps(self.header(reason)) + "\n")
+            for record in self._ring:
+                handle.write(json.dumps(record.to_dict()) + "\n")
+        self.dumps.append(path)
+        return path
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> Tuple[dict, List[dict]]:
+        """Read a dump back as ``(header, rows)``."""
+        lines = Path(path).read_text().splitlines()
+        if not lines:
+            raise ValueError(f"flight dump {path} is empty")
+        header = json.loads(lines[0])
+        if header.get("kind") != "flight":
+            raise ValueError(f"{path} is not a flight-recorder dump")
+        return header, [json.loads(line) for line in lines[1:] if line]

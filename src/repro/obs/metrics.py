@@ -1,0 +1,322 @@
+"""Process-local metrics: counters, gauges, fixed-bucket histograms.
+
+The registry is deliberately minimal — no labels, no background threads,
+no locks (the control loop is single-threaded and worker processes each
+own their registry).  Histograms use *fixed* bucket bounds so memory is
+bounded no matter how long a campaign runs: observing ten million cycles
+costs the same few dozen integers as observing ten.
+
+Disabled mode is a first-class citizen: :class:`NullRegistry` hands out
+shared no-op metric instances, so instrumented code can hold references
+unconditionally and the disabled path costs one ``is None`` / ``enabled``
+branch, never a dictionary lookup or an allocation.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+#: Default bounds for duration histograms (seconds): 1 µs .. 100 ms,
+#: log-spaced 1-2-5.  Control-loop probes land mid-range; anything above
+#: the top bucket overflows into +Inf and is still counted and summed.
+DEFAULT_TIME_BUCKETS_S: Tuple[float, ...] = (
+    1e-6, 2e-6, 5e-6,
+    1e-5, 2e-5, 5e-5,
+    1e-4, 2e-4, 5e-4,
+    1e-3, 2e-3, 5e-3,
+    1e-2, 2e-2, 5e-2,
+    1e-1,
+)
+
+#: Default bounds for detector margin *ratios* (value / threshold): the
+#: interesting dynamics live around 1.0 (the alarm line).
+MARGIN_RATIO_BUCKETS: Tuple[float, ...] = (
+    0.1, 0.2, 0.5, 0.8, 0.9, 1.0, 1.1, 1.25, 1.5, 2.0, 5.0, 10.0, 100.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "help", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:  # noqa: A002
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+    def summary(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """A value that goes up and down (last write wins)."""
+
+    __slots__ = ("name", "help", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:  # noqa: A002
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def summary(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with bounded memory.
+
+    ``buckets`` are finite, strictly increasing upper bounds; a value
+    ``v`` lands in the first bucket with ``v <= bound`` and anything
+    above the last bound lands in the implicit ``+Inf`` overflow bucket.
+    ``count``/``sum``/``min``/``max`` are exact; :meth:`quantile` is the
+    usual bucket-bound approximation (good enough for overhead reports,
+    not for billing).
+    """
+
+    __slots__ = ("name", "help", "bounds", "bucket_counts", "count", "sum",
+                 "min", "max")
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",  # noqa: A002
+        buckets: Iterable[float] = DEFAULT_TIME_BUCKETS_S,
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError(f"histogram {name} needs at least one bucket")
+        if any(b >= c for b, c in zip(bounds, bounds[1:])):
+            raise ValueError(
+                f"histogram {name} bucket bounds must strictly increase"
+            )
+        self.name = name
+        self.help = help
+        self.bounds = bounds
+        #: Per-bucket (non-cumulative) counts; last slot is +Inf overflow.
+        self.bucket_counts: List[int] = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def cumulative_counts(self) -> List[int]:
+        """Cumulative counts per bucket, +Inf last (Prometheus shape)."""
+        out, running = [], 0
+        for c in self.bucket_counts:
+            running += c
+            out.append(running)
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile as a bucket upper bound.
+
+        Returns the smallest bucket bound whose cumulative count covers
+        ``q`` of the observations; overflow observations report the
+        exact observed maximum instead of +Inf.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        running = 0
+        for bound, c in zip(self.bounds, self.bucket_counts):
+            running += c
+            if running >= target:
+                return bound
+        return self.max if self.max is not None else self.bounds[-1]
+
+    def summary(self) -> dict:
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "bounds": list(self.bounds),
+            "bucket_counts": list(self.bucket_counts),
+        }
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class NullCounter(Counter):
+    """Counter that ignores everything (disabled telemetry)."""
+
+    def __init__(self) -> None:
+        super().__init__("null")
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class NullGauge(Gauge):
+    """Gauge that ignores everything (disabled telemetry)."""
+
+    def __init__(self) -> None:
+        super().__init__("null")
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class NullHistogram(Histogram):
+    """Histogram that ignores everything (disabled telemetry)."""
+
+    def __init__(self) -> None:
+        super().__init__("null", buckets=(1.0,))
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class MetricsRegistry:
+    """Name -> metric map with get-or-create semantics."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get_or_create(self, name: str, factory, kind: str) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif metric.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as a {metric.kind}, "
+                f"requested as a {kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:  # noqa: A002
+        return self._get_or_create(  # type: ignore[return-value]
+            name, lambda: Counter(name, help), "counter"
+        )
+
+    def gauge(self, name: str, help: str = "") -> Gauge:  # noqa: A002
+        return self._get_or_create(  # type: ignore[return-value]
+            name, lambda: Gauge(name, help), "gauge"
+        )
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",  # noqa: A002
+        buckets: Iterable[float] = DEFAULT_TIME_BUCKETS_S,
+    ) -> Histogram:
+        return self._get_or_create(  # type: ignore[return-value]
+            name, lambda: Histogram(name, help, buckets), "histogram"
+        )
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> Dict[str, dict]:
+        """All metrics as JSON-native summaries, name-sorted."""
+        return {
+            name: self._metrics[name].summary()
+            for name in sorted(self._metrics)
+        }
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition of every registered metric."""
+        lines: List[str] = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            safe = _prom_name(name)
+            if metric.help:
+                lines.append(f"# HELP {safe} {metric.help}")
+            lines.append(f"# TYPE {safe} {metric.kind}")
+            if isinstance(metric, Histogram):
+                for bound, cum in zip(
+                    metric.bounds, metric.cumulative_counts()
+                ):
+                    lines.append(
+                        f'{safe}_bucket{{le="{bound!r}"}} {cum}'
+                    )
+                lines.append(f'{safe}_bucket{{le="+Inf"}} {metric.count}')
+                lines.append(f"{safe}_sum {metric.sum!r}")
+                lines.append(f"{safe}_count {metric.count}")
+            else:
+                lines.append(f"{safe} {metric.value!r}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+class NullRegistry(MetricsRegistry):
+    """Registry that hands out shared no-op metrics (disabled mode)."""
+
+    enabled = False
+
+    _COUNTER = NullCounter()
+    _GAUGE = NullGauge()
+    _HISTOGRAM = NullHistogram()
+
+    def counter(self, name: str, help: str = "") -> Counter:  # noqa: A002
+        return self._COUNTER
+
+    def gauge(self, name: str, help: str = "") -> Gauge:  # noqa: A002
+        return self._GAUGE
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",  # noqa: A002
+        buckets: Iterable[float] = DEFAULT_TIME_BUCKETS_S,
+    ) -> Histogram:
+        return self._HISTOGRAM
+
+    def snapshot(self) -> Dict[str, dict]:
+        return {}
+
+    def to_prometheus(self) -> str:
+        return ""
+
+
+def _prom_name(name: str) -> str:
+    """Sanitize a metric name for the Prometheus text format."""
+    return "".join(
+        ch if (ch.isalnum() or ch in "_:") else "_" for ch in name
+    )

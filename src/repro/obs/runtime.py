@@ -1,0 +1,199 @@
+"""The env-gated telemetry runtime (``REPRO_OBS``).
+
+One :class:`ObsRuntime` per process owns the metrics registry, the span
+tracer, the event log, and the flight-recorder policy.  It is resolved
+once per process from the environment (through :mod:`repro.envcfg`, the
+sanctioned shim) and cached — hot paths capture the runtime at
+construction time, so the disabled path costs a cached attribute read
+and a branch, never an environment lookup per cycle.
+
+Knobs:
+
+- ``REPRO_OBS`` — enable telemetry (``1``/anything truthy; ``0``,
+  ``false``, ``off``, ``no`` and unset disable);
+- ``REPRO_OBS_DIR`` — when set (and telemetry is enabled), export
+  ``metrics.prom``, ``trace.json`` and ``events.jsonl`` there at process
+  exit, and place flight dumps in its ``flight/`` subdirectory;
+- ``REPRO_OBS_FLIGHT_CYCLES`` — flight-recorder ring size (default 1024);
+- ``REPRO_OBS_MAX_DUMPS`` — per-process cap on automatic flight dumps
+  (default 16), so a pathological campaign cannot fill a disk.
+
+Tests swap configurations with :func:`reset_runtime`; production code
+should only ever call :func:`get_runtime`.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from pathlib import Path
+from typing import List, Optional
+
+from repro.envcfg import env_int, env_str
+from repro.obs.export import (
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.obs.flight import DEFAULT_FLIGHT_CYCLES, FlightRecorder
+from repro.obs.metrics import MetricsRegistry, NullRegistry
+from repro.obs.tracer import NullTracer, SpanTracer
+
+ENV_ENABLE = "REPRO_OBS"
+ENV_DIR = "REPRO_OBS_DIR"
+ENV_FLIGHT_CYCLES = "REPRO_OBS_FLIGHT_CYCLES"
+ENV_MAX_DUMPS = "REPRO_OBS_MAX_DUMPS"
+
+#: Default cap on automatic flight dumps per process.
+DEFAULT_MAX_DUMPS = 16
+
+_FALSEY = frozenset({"", "0", "false", "off", "no"})
+
+
+def obs_enabled_from_env() -> bool:
+    """Whether ``REPRO_OBS`` requests telemetry."""
+    return env_str(ENV_ENABLE).lower() not in _FALSEY
+
+
+class ObsRuntime:
+    """Per-process telemetry state: registry + tracer + flight policy."""
+
+    def __init__(
+        self,
+        enabled: bool = False,
+        export_dir: Optional[Path] = None,
+        flight_cycles: int = DEFAULT_FLIGHT_CYCLES,
+        max_flight_dumps: int = DEFAULT_MAX_DUMPS,
+    ) -> None:
+        self.enabled = enabled
+        self.export_dir = None if export_dir is None else Path(export_dir)
+        self.flight_cycles = flight_cycles
+        self.max_flight_dumps = max_flight_dumps
+        self.registry: MetricsRegistry = (
+            MetricsRegistry() if enabled else NullRegistry()
+        )
+        self.tracer: SpanTracer = SpanTracer() if enabled else NullTracer()
+        self.events: List[dict] = []
+        self.flight_dumps_written = 0
+        self.flight_dumps_suppressed = 0
+
+    # -- events ------------------------------------------------------------------
+
+    def log_event(self, kind: str, **fields: object) -> None:
+        """Append one event to the in-memory JSONL event log."""
+        if not self.enabled:
+            return
+        event = {"event": kind}
+        event.update(fields)
+        self.events.append(event)
+
+    # -- flight recorder ---------------------------------------------------------
+
+    def new_flight_recorder(
+        self, context: Optional[dict] = None
+    ) -> Optional[FlightRecorder]:
+        """A fresh per-run recorder, or ``None`` when disabled."""
+        if not self.enabled:
+            return None
+        return FlightRecorder(capacity=self.flight_cycles, context=context)
+
+    @property
+    def flight_dir(self) -> Path:
+        """Where automatic flight dumps land."""
+        base = self.export_dir if self.export_dir is not None else Path("obs")
+        return base / "flight"
+
+    def flight_dump_path(
+        self, label: str, seed: object, cycle: int, reason: str
+    ) -> Optional[Path]:
+        """Reserve a dump path, or ``None`` when disabled/over the cap.
+
+        Names are deterministic functions of run identity plus a
+        per-process sequence number and pid (collision safety across
+        pool workers) — never wall-clock timestamps.
+        """
+        if not self.enabled:
+            return None
+        if self.flight_dumps_written >= self.max_flight_dumps:
+            self.flight_dumps_suppressed += 1
+            return None
+        self.flight_dumps_written += 1
+        slug = "".join(
+            ch if (ch.isalnum() or ch in "-_") else "-" for ch in str(label)
+        ) or "run"
+        name = (
+            f"flight-{slug}-seed{seed}-c{cycle}-{reason}"
+            f"-p{os.getpid()}-{self.flight_dumps_written}.jsonl"
+        )
+        return self.flight_dir / name
+
+    # -- export ------------------------------------------------------------------
+
+    def export(self, directory: Optional[Path] = None) -> List[Path]:
+        """Write metrics.prom / trace.json / events.jsonl.
+
+        Uses ``directory`` or the configured ``REPRO_OBS_DIR``; a no-op
+        returning ``[]`` when disabled or no directory is known.
+        """
+        if not self.enabled:
+            return []
+        directory = Path(directory) if directory else self.export_dir
+        if directory is None:
+            return []
+        return [
+            write_prometheus(directory / "metrics.prom", self.registry),
+            write_chrome_trace(directory / "trace.json", self.tracer),
+            write_jsonl(directory / "events.jsonl", self.events),
+        ]
+
+    def export_default(self) -> None:
+        """Atexit hook: export to the configured directory, best-effort."""
+        try:
+            self.export()
+        except OSError:
+            pass
+
+
+_runtime: Optional[ObsRuntime] = None
+
+
+def _runtime_from_env() -> ObsRuntime:
+    enabled = obs_enabled_from_env()
+    export_dir = env_str(ENV_DIR) or None
+    flight_cycles = env_int(ENV_FLIGHT_CYCLES)
+    max_dumps = env_int(ENV_MAX_DUMPS)
+    runtime = ObsRuntime(
+        enabled=enabled,
+        export_dir=None if export_dir is None else Path(export_dir),
+        flight_cycles=(
+            DEFAULT_FLIGHT_CYCLES if flight_cycles is None
+            else max(1, flight_cycles)
+        ),
+        max_flight_dumps=(
+            DEFAULT_MAX_DUMPS if max_dumps is None else max(0, max_dumps)
+        ),
+    )
+    if runtime.enabled and runtime.export_dir is not None:
+        atexit.register(runtime.export_default)
+    return runtime
+
+
+def get_runtime() -> ObsRuntime:
+    """The process-wide runtime (resolved from the environment once)."""
+    global _runtime
+    if _runtime is None:
+        _runtime = _runtime_from_env()
+    return _runtime
+
+
+def reset_runtime() -> None:
+    """Drop the cached runtime so the next access re-reads the env.
+
+    Test seam: lets a test flip ``REPRO_OBS`` and observe the change in
+    freshly constructed components.  Unregisters any pending atexit
+    export of the dropped runtime.
+    """
+    global _runtime
+    if _runtime is not None:
+        atexit.unregister(_runtime.export_default)
+    _runtime = None

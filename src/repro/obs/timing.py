@@ -1,0 +1,47 @@
+"""Monotonic duration probes — the sanctioned home of ``perf_counter``.
+
+RPR002 bans wall-clock *value* reads in the golden-trace-critical
+packages outright, and (now that this module exists) also flags bare
+monotonic timing pairs: every duration probe in the instrumented
+packages routes through :class:`Stopwatch` / :func:`monotonic_s`, so
+overhead instrumentation has exactly one auditable code path and can
+never leak a timestamp into simulated values.
+
+Only durations (and offsets between two reads of the *same* clock) ever
+leave this module; the epoch of the monotonic clock is arbitrary and
+must never be persisted as an absolute time.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+def monotonic_s() -> float:
+    """Seconds on the monotonic performance clock (arbitrary epoch)."""
+    return time.perf_counter()
+
+
+class Stopwatch:
+    """A reusable context-manager duration probe.
+
+    ``elapsed_s`` holds the duration of the most recent ``with`` block;
+    re-entering the same instance restarts the measurement, so one
+    stopwatch can time every iteration of a hot loop without
+    per-iteration allocation.
+    """
+
+    __slots__ = ("start_s", "elapsed_s")
+
+    def __init__(self) -> None:
+        self.start_s = 0.0
+        self.elapsed_s = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self.start_s = monotonic_s()
+        return self
+
+    def __exit__(self, *exc: object) -> Optional[bool]:
+        self.elapsed_s = monotonic_s() - self.start_s
+        return None

@@ -1,0 +1,148 @@
+"""Lightweight span tracer with Chrome ``trace_event`` export.
+
+Spans are ``(name, category, start, duration)`` intervals on the
+monotonic clock — never wall-clock timestamps, so tracing cannot leak an
+ambient input into simulated values (RPR002).  Worker processes measure
+their own spans (same machine, same monotonic clock on Linux) and ship
+them back inside task results; :meth:`SpanTracer.add_span` merges them
+into the campaign-level timeline, keyed by worker pid as the Chrome
+"thread" id so ``about:tracing``/Perfetto draws one lane per worker.
+
+The span list is bounded: past ``max_spans`` new spans are counted as
+dropped instead of growing without limit.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+from repro.obs.timing import monotonic_s
+
+#: Default bound on retained spans; campaigns emit one span per task, so
+#: this is far above any realistic run while still bounding memory.
+DEFAULT_MAX_SPANS = 100_000
+
+
+class Span:
+    """One completed interval on the monotonic clock."""
+
+    __slots__ = ("name", "cat", "start_s", "dur_s", "tid", "args")
+
+    def __init__(
+        self,
+        name: str,
+        cat: str,
+        start_s: float,
+        dur_s: float,
+        tid: int = 0,
+        args: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.name = name
+        self.cat = cat
+        self.start_s = start_s
+        self.dur_s = dur_s
+        self.tid = tid
+        self.args = args or {}
+
+
+class SpanTracer:
+    """Collects spans relative to its own monotonic origin."""
+
+    enabled = True
+
+    def __init__(self, max_spans: int = DEFAULT_MAX_SPANS) -> None:
+        self.origin_s = monotonic_s()
+        self.max_spans = max_spans
+        self.spans: List[Span] = []
+        self.dropped = 0
+
+    @contextmanager
+    def span(
+        self, name: str, cat: str = "", **args: object
+    ) -> Iterator[None]:
+        """Record the enclosed block as one span."""
+        start = monotonic_s()
+        try:
+            yield
+        finally:
+            self.add_span(
+                name, start_s=start, dur_s=monotonic_s() - start,
+                cat=cat, **args,
+            )
+
+    def add_span(
+        self,
+        name: str,
+        start_s: float,
+        dur_s: float,
+        cat: str = "",
+        tid: int = 0,
+        **args: object,
+    ) -> None:
+        """Merge one externally measured span (e.g. from a worker)."""
+        if len(self.spans) >= self.max_spans:
+            self.dropped += 1
+            return
+        self.spans.append(Span(name, cat, start_s, dur_s, tid, dict(args)))
+
+    def to_chrome(self, process_name: str = "repro") -> dict:
+        """Chrome ``trace_event`` JSON (the ``about:tracing`` format).
+
+        Timestamps are microsecond offsets from the tracer's origin,
+        clamped at zero: worker clocks share the machine's monotonic
+        epoch on Linux, and a small cross-platform misalignment only
+        shifts lanes, never corrupts durations.
+        """
+        pid = os.getpid()
+        events: List[dict] = [
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": process_name},
+            }
+        ]
+        for span in self.spans:
+            events.append(
+                {
+                    "ph": "X",
+                    "name": span.name,
+                    "cat": span.cat or "repro",
+                    "pid": pid,
+                    "tid": span.tid,
+                    "ts": max(0.0, (span.start_s - self.origin_s) * 1e6),
+                    "dur": max(0.0, span.dur_s * 1e6),
+                    "args": span.args,
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+class NullTracer(SpanTracer):
+    """Tracer that records nothing (disabled telemetry)."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(max_spans=0)
+        self.origin_s = 0.0
+
+    @contextmanager
+    def span(
+        self, name: str, cat: str = "", **args: object
+    ) -> Iterator[None]:
+        yield
+
+    def add_span(
+        self,
+        name: str,
+        start_s: float,
+        dur_s: float,
+        cat: str = "",
+        tid: int = 0,
+        **args: object,
+    ) -> None:
+        pass

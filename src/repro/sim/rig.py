@@ -17,8 +17,10 @@ protected/unprotected replicas of the same run see identical inputs.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Union
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -37,6 +39,7 @@ from repro.hw.plc import Plc
 from repro.hw.usb_board import UsbBoard
 from repro.kinematics.spherical_arm import SphericalArm
 from repro.kinematics.workspace import Workspace
+from repro.obs.runtime import get_runtime
 from repro.sim.trace import RunTrace
 from repro.sysmodel.linker import DynamicLinker, SharedLibrary, SystemEnvironment
 from repro.teleop.console import MasterConsoleEmulator
@@ -203,6 +206,22 @@ class SurgicalRig:
             self.phys_injector = PhysFaultInjector(plan)
             self.phys_injector.install(self)
 
+        # -- telemetry (REPRO_OBS, opt-in) -------------------------------------------
+        # The flight recorder is None when telemetry is disabled, so the
+        # step loop pays exactly one is-None branch per cycle.
+        self.obs = get_runtime()
+        self.flight = self.obs.new_flight_recorder(
+            context={
+                "seed": config.seed,
+                "trajectory": config.trajectory_name,
+                "duration_s": config.duration_s,
+                "guard": type(guard).__name__ if guard is not None else None,
+            }
+        )
+        #: Paths of black-box dumps written during :meth:`run`.
+        self.flight_dumps: List[Path] = []
+        self._flight_dumped = {"alarm": False, "estop": False}
+
     # -- execution ---------------------------------------------------------------------
 
     def run(self, trace: Optional[RunTrace] = None) -> RunTrace:
@@ -218,50 +237,67 @@ class SurgicalRig:
             if new is RobotState.E_STOP and started:
                 reason = self.controller.state_machine.last_estop_reason or ""
                 trace.estop_events.append((self._now, reason))
+                self.obs.log_event(
+                    "estop", t=self._now, seed=config.seed, reason=reason
+                )
 
         self.controller.state_machine.add_listener(on_transition)
 
         steps = int(round(config.duration_s / constants.CONTROL_PERIOD_S))
         self._now = 0.0
-        for k in range(steps):
-            self._now = k * constants.CONTROL_PERIOD_S
-            now = self._now
-            if not started and now >= config.start_button_s:
-                self.controller.press_start(now)
-                started = True
-
-            self.socket.set_time(now)
-            if self.phys_injector is not None:
-                self.phys_injector.set_time(now)
-            self.console.tick(now)
-            out = self.controller.tick(now)
-            if not out.safety.safe:
-                trace.safety_trip_cycles.append(k)
-            if self.guard is not None:
-                # Per-cycle guard housekeeping (staleness watchdog on the
-                # supervisor; a no-op for the bare DetectorGuard).
-                self.guard.tick_cycle(k)
-
-            self.plc.tick()
-            if (
-                self.plc.estop_latched
-                and self.controller.state_machine.state is not RobotState.E_STOP
-            ):
-                self.controller.state_machine.emergency_stop(
-                    now, reason=f"PLC: {self.plc.estop_reason}"
-                )
-
-            snapshot = self.motor_controller.tick()
-            trace.record(
-                time=now,
-                state=out.state,
-                tip_pos=self.arm.forward(snapshot.jpos),
-                pos_d=out.pos_d,
-                jpos=snapshot.jpos,
-                jvel=snapshot.jvel,
-                mpos=snapshot.mpos,
-                dac=out.dac,
+        run_span = (
+            self.obs.tracer.span(
+                "rig.run",
+                cat="sim",
+                seed=config.seed,
+                trajectory=config.trajectory_name,
+                steps=steps,
             )
+            if self.obs.enabled
+            else nullcontext()
+        )
+        with run_span:
+            for k in range(steps):
+                self._now = k * constants.CONTROL_PERIOD_S
+                now = self._now
+                if not started and now >= config.start_button_s:
+                    self.controller.press_start(now)
+                    started = True
+
+                self.socket.set_time(now)
+                if self.phys_injector is not None:
+                    self.phys_injector.set_time(now)
+                self.console.tick(now)
+                out = self.controller.tick(now)
+                if not out.safety.safe:
+                    trace.safety_trip_cycles.append(k)
+                if self.guard is not None:
+                    # Per-cycle guard housekeeping (staleness watchdog on the
+                    # supervisor; a no-op for the bare DetectorGuard).
+                    self.guard.tick_cycle(k)
+
+                self.plc.tick()
+                if (
+                    self.plc.estop_latched
+                    and self.controller.state_machine.state is not RobotState.E_STOP
+                ):
+                    self.controller.state_machine.emergency_stop(
+                        now, reason=f"PLC: {self.plc.estop_reason}"
+                    )
+
+                snapshot = self.motor_controller.tick()
+                trace.record(
+                    time=now,
+                    state=out.state,
+                    tip_pos=self.arm.forward(snapshot.jpos),
+                    pos_d=out.pos_d,
+                    jpos=snapshot.jpos,
+                    jvel=snapshot.jvel,
+                    mpos=snapshot.mpos,
+                    dac=out.dac,
+                )
+                if self.flight is not None:
+                    self._flight_cycle(k, now, out, snapshot)
 
         if self.guard is not None:
             trace.detector_alert_cycles = [
@@ -274,3 +310,71 @@ class SurgicalRig:
                     * (self.guard.stats.alerts - len(trace.detector_alert_cycles))
                 )
         return trace
+
+    # -- flight recorder (REPRO_OBS) --------------------------------------------
+
+    def _flight_cycle(self, k: int, now: float, out, snapshot) -> None:
+        """Feed one control cycle into the black-box ring; dump on events."""
+        flight = self.flight
+        assert flight is not None
+        guard = self.guard
+        result = guard.last_evaluation if guard is not None else None
+        estimate = guard.last_estimate if guard is not None else None
+        flight.record_cycle(
+            cycle=k,
+            t=now,
+            state=out.state.name,
+            dac_commanded=out.dac,
+            dac_seen=guard.last_dac if guard is not None else None,
+            jpos=snapshot.jpos,
+            jvel=snapshot.jvel,
+            mpos=snapshot.mpos,
+            est_motor_velocity=(
+                estimate.motor_velocity if estimate is not None else None
+            ),
+            est_motor_acceleration=(
+                estimate.motor_acceleration if estimate is not None else None
+            ),
+            est_joint_velocity=(
+                estimate.joint_velocity if estimate is not None else None
+            ),
+            est_jpos_next=estimate.jpos_next if estimate is not None else None,
+            margins=result.margins if result is not None else None,
+            alarms=result.alarms if result is not None else None,
+            alert=result.alert if result is not None else None,
+            raw_alert=result.raw_alert if result is not None else None,
+            blocked=guard.last_blocked if guard is not None else False,
+            health=guard.stats.health.value if guard is not None else None,
+        )
+        if (
+            result is not None
+            and result.alert
+            and not self._flight_dumped["alarm"]
+        ):
+            self._flight_dumped["alarm"] = True
+            reason = "block" if guard is not None and guard.last_blocked else "alarm"
+            self._dump_flight(reason=reason, cycle=k)
+        if self.plc.estop_latched and not self._flight_dumped["estop"]:
+            self._flight_dumped["estop"] = True
+            self._dump_flight(reason="estop", cycle=k)
+
+    def _dump_flight(self, reason: str, cycle: int) -> None:
+        """Write the last N cycles of the ring to a forensic JSONL dump."""
+        assert self.flight is not None
+        path = self.obs.flight_dump_path(
+            label=self.config.trajectory_name,
+            seed=self.config.seed,
+            cycle=cycle,
+            reason=reason,
+        )
+        if path is None:  # per-process dump cap reached
+            return
+        self.flight.dump(path, reason=reason)
+        self.flight_dumps.append(path)
+        self.obs.log_event(
+            "flight_dump",
+            path=str(path),
+            reason=reason,
+            cycle=cycle,
+            seed=self.config.seed,
+        )

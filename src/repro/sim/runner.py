@@ -13,7 +13,6 @@ the evaluation needs:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -37,6 +36,8 @@ from repro.core.pipeline import DetectorGuard
 from repro.core.thresholds import SafetyThresholds, ThresholdLearner
 from repro.hw.usb_board import UsbBoard
 from repro.hw.usb_packet import CommandPacket
+from repro.obs.metrics import DEFAULT_TIME_BUCKETS_S, Histogram
+from repro.obs.timing import Stopwatch
 from repro.sim.rig import RigConfig, SurgicalRig
 from repro.sim.trace import RunTrace
 
@@ -347,7 +348,13 @@ class ParallelModelTap:
         self.model_mpos: list = []
         self.plant_jpos: list = []
         self.plant_mpos: list = []
-        self.step_seconds: list = []
+        #: Bounded summary of per-step latency (count/sum/min/max/mean)
+        #: instead of an unbounded per-cycle list.
+        self.step_timing = Histogram(
+            "model_step_seconds",
+            "open-loop model step latency",
+            buckets=DEFAULT_TIME_BUCKETS_S,
+        )
 
     def attach(self, board: UsbBoard) -> None:
         self._board = board
@@ -364,11 +371,11 @@ class ParallelModelTap:
             # Engage: initialize the model from the true plant state once.
             self._jpos = plant.jpos
             self._jvel = plant.jvel
-        t0 = time.perf_counter()
-        self._jpos, self._jvel = self.model.step(
-            self._jpos, self._jvel, packet.dac_values[:3]
-        )
-        self.step_seconds.append(time.perf_counter() - t0)
+        with Stopwatch() as probe:
+            self._jpos, self._jvel = self.model.step(
+                self._jpos, self._jvel, packet.dac_values[:3]
+            )
+        self.step_timing.observe(probe.elapsed_s)
         self.model_jpos.append(self._jpos.copy())
         self.model_mpos.append(self.model.transmission.motor_positions(self._jpos))
         return True
@@ -427,7 +434,7 @@ def run_model_validation(
     merr = np.abs(np.vstack(tap.model_mpos[:n]) - np.vstack(tap.plant_mpos[:n]))
     return ModelValidationResult(
         integrator=integrator,
-        mean_step_seconds=float(np.mean(tap.step_seconds)),
+        mean_step_seconds=tap.step_timing.mean,
         jpos_mae=jerr.mean(axis=0),
         mpos_mae=merr.mean(axis=0),
         samples=n,

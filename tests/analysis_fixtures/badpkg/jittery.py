@@ -32,3 +32,7 @@ def knob():
 
 def fan_out(tasks):
     return list(iter_tasks(lambda task: task, tasks))  # pool lambda
+
+
+def tick():
+    return time.perf_counter()  # bare monotonic probe outside repro.obs.timing

@@ -77,6 +77,7 @@ def test_rpr002_determinism_fixture():
         ("RPR002", 26),  # random.random()
         ("RPR002", 30),  # os.environ.get(...)
         ("RPR002", 34),  # lambda handed to iter_tasks
+        ("RPR002", 38),  # bare time.perf_counter() outside repro.obs.timing
     ]
 
 

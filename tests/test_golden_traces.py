@@ -61,6 +61,22 @@ class TestTraceGoldens:
         b = run_fault_free(seed=3, duration_s=0.7).fingerprint()
         assert a == b
 
+    def test_telemetry_enabled_matches_the_same_golden(
+        self, golden, monkeypatch, tmp_path
+    ):
+        # REPRO_OBS is observation-only by contract: with telemetry on,
+        # the run must still reproduce the pinned disabled-mode bytes.
+        from repro.obs.runtime import reset_runtime
+
+        monkeypatch.setenv("REPRO_OBS", "1")
+        monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path))
+        reset_runtime()
+        try:
+            trace = run_fault_free(seed=3, duration_s=0.7)
+        finally:
+            reset_runtime()
+        golden.check("trace_fault_free_euler", trace.fingerprint())
+
     def test_scenario_a(self, golden):
         result = run_scenario_a(
             seed=5, error_mm=0.5, period_ms=16, duration_s=0.7,

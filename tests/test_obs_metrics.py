@@ -1,0 +1,276 @@
+"""Unit tests of the telemetry subsystem (repro.obs).
+
+Covers the metrics registry (counters, gauges, fixed-bucket histograms
+and their Prometheus rendering), the span tracer's Chrome trace_event
+export, the Stopwatch timing probe, and the env-gated runtime with its
+null-object disabled mode.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.export import validate_chrome_trace, write_chrome_trace
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.runtime import (
+    ENV_DIR,
+    ENV_ENABLE,
+    get_runtime,
+    reset_runtime,
+)
+from repro.obs.timing import Stopwatch
+from repro.obs.tracer import NullTracer, SpanTracer
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture
+def obs_env(monkeypatch, tmp_path):
+    """Enable telemetry for the duration of one test, then restore."""
+    monkeypatch.setenv(ENV_ENABLE, "1")
+    monkeypatch.setenv(ENV_DIR, str(tmp_path))
+    reset_runtime()
+    yield tmp_path
+    reset_runtime()
+
+
+class TestCounterAndGauge:
+    def test_counter_accumulates(self):
+        c = Counter("hits", "help text")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_counter_rejects_decrease(self):
+        c = Counter("hits")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_set_and_inc(self):
+        g = Gauge("depth")
+        g.set(5)
+        g.inc(-2)
+        assert g.value == 3.0
+
+
+class TestHistogram:
+    def test_bucket_edges_are_inclusive_upper_bounds(self):
+        h = Histogram("h", buckets=(1.0, 2.0, 5.0))
+        h.observe(1.0)   # lands in the 1.0 bucket (v <= bound)
+        h.observe(1.5)   # lands in the 2.0 bucket
+        h.observe(7.0)   # overflows into +Inf
+        assert h.bucket_counts == [1, 1, 0, 1]
+        assert h.count == 3
+        assert h.max == 7.0
+        assert h.min == 1.0
+
+    def test_mean_and_cumulative(self):
+        h = Histogram("h", buckets=(1.0, 10.0))
+        for v in (0.5, 0.5, 3.0):
+            h.observe(v)
+        assert h.mean == pytest.approx(4.0 / 3.0)
+        assert h.cumulative_counts() == [2, 3, 3]
+
+    def test_quantile_approximation(self):
+        h = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.6, 3.0):
+            h.observe(v)
+        assert h.quantile(0.25) == 1.0
+        assert h.quantile(0.75) == 2.0
+        assert h.quantile(1.0) == 4.0
+
+    def test_overflow_quantile_reports_observed_max(self):
+        h = Histogram("h", buckets=(1.0,))
+        h.observe(50.0)
+        assert h.quantile(0.99) == 50.0
+
+    def test_rejects_unordered_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+    def test_memory_is_bounded(self):
+        h = Histogram("h", buckets=DEFAULT_TIME_BUCKETS_S)
+        for i in range(10_000):
+            h.observe(i * 1e-6)
+        assert len(h.bucket_counts) == len(DEFAULT_TIME_BUCKETS_S) + 1
+        assert h.count == 10_000
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert len(reg) == 1
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(ValueError):
+            reg.gauge("a")
+
+    def test_prometheus_text_format(self):
+        reg = MetricsRegistry()
+        reg.counter("req_total", "requests").inc(3)
+        h = reg.histogram("lat_seconds", "latency", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(5.0)
+        text = reg.to_prometheus()
+        assert "# TYPE req_total counter" in text
+        assert "req_total 3.0" in text
+        assert '# TYPE lat_seconds histogram' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 2' in text
+        assert "lat_seconds_count 2" in text
+
+    def test_snapshot_is_json_native(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(1.25)
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = json.loads(json.dumps(reg.snapshot()))
+        assert snap["g"]["value"] == 1.25
+        assert snap["h"]["count"] == 1
+
+
+class TestNullObjects:
+    def test_null_registry_hands_out_shared_noops(self):
+        reg = NullRegistry()
+        assert not reg.enabled
+        c = reg.counter("anything")
+        c.inc(10)
+        assert c.value == 0.0
+        assert reg.counter("other") is c
+        h = reg.histogram("h")
+        h.observe(1.0)
+        assert h.count == 0
+        g = reg.gauge("g")
+        g.set(9)
+        assert g.value == 0.0
+        assert reg.snapshot() == {}
+        assert reg.to_prometheus() == ""
+
+    def test_null_tracer_records_nothing(self):
+        tracer = NullTracer()
+        with tracer.span("x"):
+            pass
+        tracer.add_span("y", start_s=0.0, dur_s=1.0)
+        assert tracer.spans == []
+
+
+class TestTracer:
+    def test_span_context_manager_records_interval(self):
+        tracer = SpanTracer()
+        with tracer.span("work", cat="test", seed=3):
+            pass
+        (span,) = tracer.spans
+        assert span.name == "work"
+        assert span.cat == "test"
+        assert span.args == {"seed": 3}
+        assert span.dur_s >= 0.0
+
+    def test_bounded_span_list_counts_drops(self):
+        tracer = SpanTracer(max_spans=2)
+        for i in range(5):
+            tracer.add_span(f"s{i}", start_s=0.0, dur_s=0.0)
+        assert len(tracer.spans) == 2
+        assert tracer.dropped == 3
+
+    def test_chrome_trace_structure(self, tmp_path):
+        tracer = SpanTracer()
+        with tracer.span("outer", cat="sim"):
+            pass
+        tracer.add_span("task[0]", start_s=tracer.origin_s, dur_s=0.01, tid=42)
+        doc = tracer.to_chrome()
+        phases = [e["ph"] for e in doc["traceEvents"]]
+        assert phases.count("M") == 1
+        assert phases.count("X") == 2
+        x = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert all(e["ts"] >= 0 and e["dur"] >= 0 for e in x)
+        assert {e["tid"] for e in x} == {0, 42}
+        path = write_chrome_trace(tmp_path / "trace.json", tracer)
+        ok, message = validate_chrome_trace(path)
+        assert ok, message
+
+
+class TestStopwatch:
+    def test_measures_nonnegative_elapsed(self):
+        probe = Stopwatch()
+        with probe:
+            x = sum(range(100))
+        assert x == 4950
+        assert probe.elapsed_s >= 0.0
+
+    def test_reusable(self):
+        probe = Stopwatch()
+        with probe:
+            pass
+        first = probe.elapsed_s
+        with probe:
+            sum(range(1000))
+        assert probe.elapsed_s >= 0.0
+        assert first >= 0.0
+
+
+class TestRuntimeGating:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv(ENV_ENABLE, raising=False)
+        reset_runtime()
+        try:
+            rt = get_runtime()
+            assert not rt.enabled
+            assert isinstance(rt.registry, NullRegistry)
+            assert isinstance(rt.tracer, NullTracer)
+            assert rt.new_flight_recorder() is None
+            rt.log_event("ignored")
+            assert rt.events == []
+            assert rt.export() == []
+        finally:
+            reset_runtime()
+
+    def test_falsey_spellings_disable(self, monkeypatch):
+        for value in ("0", "false", "off", "no", ""):
+            monkeypatch.setenv(ENV_ENABLE, value)
+            reset_runtime()
+            assert not get_runtime().enabled
+        reset_runtime()
+
+    def test_enabled_runtime_is_cached_singleton(self, obs_env):
+        rt = get_runtime()
+        assert rt.enabled
+        assert rt is get_runtime()
+        assert rt.registry.enabled
+        assert rt.new_flight_recorder() is not None
+
+    def test_export_writes_all_three_artifacts(self, obs_env):
+        rt = get_runtime()
+        rt.registry.counter("c").inc()
+        with rt.tracer.span("s"):
+            pass
+        rt.log_event("hello", n=1)
+        paths = rt.export()
+        names = sorted(p.name for p in paths)
+        assert names == ["events.jsonl", "metrics.prom", "trace.json"]
+        assert all(p.exists() for p in paths)
+        ok, _ = validate_chrome_trace(obs_env / "trace.json")
+        assert ok
+
+    def test_flight_dump_paths_are_deterministic_and_capped(
+        self, monkeypatch, obs_env
+    ):
+        monkeypatch.setenv("REPRO_OBS_MAX_DUMPS", "2")
+        reset_runtime()
+        rt = get_runtime()
+        p1 = rt.flight_dump_path("circle", seed=3, cycle=10, reason="alarm")
+        p2 = rt.flight_dump_path("circle", seed=3, cycle=11, reason="estop")
+        p3 = rt.flight_dump_path("circle", seed=3, cycle=12, reason="alarm")
+        assert p1 is not None and "flight-circle-seed3-c10-alarm" in p1.name
+        assert p2 is not None and p2 != p1
+        assert p3 is None  # over the per-process cap
+        assert rt.flight_dumps_suppressed == 1
