@@ -1,18 +1,22 @@
-"""Campaign execution throughput: serial vs the parallel engine.
+"""Campaign throughput: scalar loop vs ``(N_rigs, ...)`` batched execution.
 
-Runs one fixed small campaign grid twice — once through the serial
-:class:`~repro.attacks.campaign.CampaignRunner` and once through the
-process-pool :class:`~repro.attacks.campaign.ParallelCampaignRunner`
-with ``REPRO_BENCH_JOBS`` workers (default 4) — and records campaign
-runs/sec for both, plus the speedup.
+Sweeps the batch width N over {1, 8, 32, 128} on one core and records
+runs/sec for the two batched surfaces, writing the tables to
+``results/campaign_throughput.txt``:
 
-Properties under test:
+- **closed loop** — full rigs (console, network, control software, guard,
+  plant) advanced in lockstep by :class:`repro.sim.batch
+  .BatchedSurgicalRig`.  The per-cycle frontend stays per-lane Python,
+  so the win saturates near the plant/model share of the cycle budget.
+- **detector replay** — the detection pipeline alone (estimator sync,
+  one-step model prediction, threshold fusion) replayed over one
+  recorded command stream for N detector variants at once via
+  :func:`repro.experiments.batch.replay_detector_batched`.  This path is
+  fully vectorized and carries the headline assertion: **>= 10x
+  runs/sec at N >= 32** against the scalar reference loop.
 
-- parallel outcomes are **bit-identical** to serial ones (same values,
-  same order) — determinism is the engine's core contract;
-- with 4 workers on >= 4 cores, throughput improves by at least 3x
-  (the speedup assertion is skipped, but still recorded, on smaller
-  machines where 4 workers cannot physically beat one).
+Both tables come with bit-identity checks against the scalar path —
+speed means nothing here if the bytes drift.
 """
 
 from __future__ import annotations
@@ -20,94 +24,165 @@ from __future__ import annotations
 import os
 import time
 
+import numpy as np
 import pytest
 
-from repro.attacks.campaign import CampaignRunner, ParallelCampaignRunner
-
-#: Fixed benchmark workload, independent of REPRO_SCALE so throughput
-#: numbers are comparable across machines and runs.
-GRID = dict(
-    scenario="B",
-    error_values=[9000, 26000],
-    periods_ms=[16, 64],
-    repetitions=2,
-    fault_free_runs=4,
+from repro.core.detector import FusionRule
+from repro.core.mitigation import MitigationStrategy
+from repro.experiments.batch import (
+    ReplayLaneConfig,
+    replay_detector_batched,
+    replay_detector_scalar,
 )
-DURATION_S = 0.8
+from repro.sim.batch import BatchedSurgicalRig, LaneSpec
+from repro.sim.rig import RigConfig
+from repro.sim.runner import make_detector_guard
 
-PARALLEL_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "4"))
+#: Simulated duration of every closed-loop benchmark run.
+CLOSED_LOOP_DURATION_S = 0.5
 
-#: The speedup floor asserted when the machine has enough cores.
-MIN_SPEEDUP = 3.0
+#: Scalar closed-loop baseline sample size (runs timed one by one).
+SCALAR_BASELINE_RUNS = 2
 
-
-def _campaign_runs(result) -> int:
-    return len(result.outcomes)
-
-
-@pytest.fixture(scope="module")
-def timed_campaigns(thresholds):
-    """(serial_result, serial_s, parallel_result, parallel_s)."""
-    serial_runner = CampaignRunner(thresholds, duration_s=DURATION_S)
-    t0 = time.perf_counter()
-    serial = serial_runner.run_campaign(**GRID)
-    serial_s = time.perf_counter() - t0
-
-    parallel_runner = ParallelCampaignRunner(
-        thresholds, duration_s=DURATION_S, jobs=PARALLEL_JOBS
-    )
-    t0 = time.perf_counter()
-    parallel = parallel_runner.run_campaign(**GRID)
-    parallel_s = time.perf_counter() - t0
-    return serial, serial_s, parallel, parallel_s
+#: The headline assertion: batched detector replay beats the scalar loop
+#: by at least this factor at some swept N >= 32, single-core.
+REPLAY_MIN_SPEEDUP = 10.0
 
 
-@pytest.mark.campaign
-def test_campaign_throughput_artifact(artifact_writer, timed_campaigns, benchmark):
-    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    serial, serial_s, parallel, parallel_s = timed_campaigns
-    runs = _campaign_runs(serial)
-    serial_rps = runs / serial_s
-    parallel_rps = runs / parallel_s
-    speedup = parallel_rps / serial_rps
-    cores = os.cpu_count() or 1
-    artifact_writer(
-        "campaign_throughput",
-        "\n".join(
-            [
-                f"workload: {runs} campaign runs "
-                f"({GRID['scenario']}, {len(GRID['error_values'])} errors x "
-                f"{len(GRID['periods_ms'])} periods x {GRID['repetitions']} reps "
-                f"+ {GRID['fault_free_runs']} fault-free), "
-                f"duration {DURATION_S}s/run",
-                f"machine: {cores} cores; parallel jobs: {PARALLEL_JOBS}",
-                f"serial:   {serial_s:7.2f}s  ({serial_rps:6.2f} runs/sec)",
-                f"parallel: {parallel_s:7.2f}s  ({parallel_rps:6.2f} runs/sec)",
-                f"speedup:  {speedup:5.2f}x",
-                f"bit-identical outcomes: {serial.outcomes == parallel.outcomes}",
-            ]
+def _guarded_spec(thresholds, seed: int) -> LaneSpec:
+    return LaneSpec(
+        RigConfig(
+            seed=seed,
+            duration_s=CLOSED_LOOP_DURATION_S,
+            trajectory_name="circle",
+        ),
+        guard=make_detector_guard(
+            thresholds, strategy=MitigationStrategy.MONITOR
         ),
     )
 
 
-@pytest.mark.campaign
-def test_parallel_bit_identical_to_serial(timed_campaigns, benchmark):
-    """The engine's determinism contract: same values, same order."""
-    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    serial, _, parallel, _ = timed_campaigns
-    assert serial.outcomes == parallel.outcomes
-
-
-@pytest.mark.campaign
-def test_parallel_speedup(timed_campaigns, benchmark):
-    """>= 3x runs/sec with 4 workers, where the hardware allows it."""
-    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    cores = os.cpu_count() or 1
-    if cores < PARALLEL_JOBS:
-        pytest.skip(
-            f"only {cores} cores available; {PARALLEL_JOBS} workers cannot "
-            f"demonstrate a {MIN_SPEEDUP}x speedup (numbers still recorded "
-            "in results/campaign_throughput.txt)"
+def _replay_lanes(thresholds, n: int):
+    """N heterogeneous detector variants (thresholds + model error)."""
+    return [
+        ReplayLaneConfig(
+            thresholds=thresholds.scaled(1.0 + 0.02 * i),
+            parameter_error=1.0 + 0.005 * i,
+            fusion=FusionRule.ANY,
         )
-    _, serial_s, _, parallel_s = timed_campaigns
-    assert serial_s / parallel_s >= MIN_SPEEDUP
+        for i in range(n)
+    ]
+
+
+@pytest.fixture(scope="module")
+def closed_loop_table(thresholds, batch_sizes):
+    """Rows of (N, elapsed_s, runs_per_sec) plus the scalar baseline."""
+    t0 = time.perf_counter()
+    scalar_fps = [
+        _guarded_spec(thresholds, seed).build().run().fingerprint()
+        for seed in range(SCALAR_BASELINE_RUNS)
+    ]
+    scalar_s = time.perf_counter() - t0
+    scalar_rps = SCALAR_BASELINE_RUNS / scalar_s
+
+    rows = []
+    verified = True
+    for n in batch_sizes:
+        specs = [_guarded_spec(thresholds, seed) for seed in range(n)]
+        t0 = time.perf_counter()
+        traces = BatchedSurgicalRig(specs).run()
+        elapsed = time.perf_counter() - t0
+        rows.append((n, elapsed, n / elapsed))
+        # Bit-identity spot check against the scalar baseline lanes.
+        for i in range(min(n, SCALAR_BASELINE_RUNS)):
+            verified &= traces[i].fingerprint() == scalar_fps[i]
+    return scalar_rps, rows, verified
+
+
+@pytest.fixture(scope="module")
+def replay_table(thresholds, recorded_stream, batch_sizes):
+    """Rows of (N, scalar_rps, batched_rps, speedup) over one stream."""
+    rows = []
+    verified = True
+    for n in batch_sizes:
+        lanes = _replay_lanes(thresholds, n)
+        t0 = time.perf_counter()
+        scalar = replay_detector_scalar(recorded_stream, lanes)
+        scalar_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        batched = replay_detector_batched(recorded_stream, lanes)
+        batched_s = time.perf_counter() - t0
+        verified &= np.array_equal(scalar.alert_mask, batched.alert_mask)
+        verified &= np.array_equal(scalar.alerts, batched.alerts)
+        rows.append((n, n / scalar_s, n / batched_s, scalar_s / batched_s))
+    return rows, verified
+
+
+@pytest.mark.campaign
+@pytest.mark.batch
+def test_campaign_throughput_artifact(
+    artifact_writer, closed_loop_table, replay_table, batch_sizes, benchmark
+):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    scalar_rps, loop_rows, loop_ok = closed_loop_table
+    replay_rows, replay_ok = replay_table
+    cores = os.cpu_count() or 1
+
+    lines = [
+        f"machine: {cores} cores (all timings single-core); "
+        f"batch widths: {list(batch_sizes)}",
+        "",
+        f"closed loop (full rigs, {CLOSED_LOOP_DURATION_S}s/run, "
+        "MONITOR-guarded):",
+        f"  scalar baseline: {scalar_rps:7.2f} runs/sec",
+        "      N   elapsed    runs/sec   speedup",
+    ]
+    for n, elapsed, rps in loop_rows:
+        lines.append(
+            f"  {n:5d}  {elapsed:7.2f}s  {rps:9.2f}  {rps / scalar_rps:7.2f}x"
+        )
+    lines += [
+        f"  bit-identical to scalar: {loop_ok}",
+        "",
+        "detector replay (vectorized estimator+model+detector over one "
+        "recorded stream):",
+        "      N   scalar r/s   batched r/s   speedup",
+    ]
+    for n, s_rps, b_rps, speedup in replay_rows:
+        lines.append(f"  {n:5d}  {s_rps:10.2f}  {b_rps:11.2f}  {speedup:7.2f}x")
+    lines.append(f"  bit-identical to scalar: {replay_ok}")
+    best = max(sp for n, _, _, sp in replay_rows if n >= 32)
+    lines.append(
+        f"  best replay speedup at N>=32: {best:.2f}x "
+        f"(floor: {REPLAY_MIN_SPEEDUP:.0f}x)"
+    )
+    artifact_writer("campaign_throughput", "\n".join(lines))
+
+
+@pytest.mark.campaign
+@pytest.mark.batch
+def test_closed_loop_batch_bit_identical(closed_loop_table, benchmark):
+    """Batched closed-loop traces match the scalar runs byte for byte."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    _, _, verified = closed_loop_table
+    assert verified
+
+
+@pytest.mark.campaign
+@pytest.mark.batch
+def test_replay_bit_identical(replay_table, benchmark):
+    """Vectorized replay verdicts equal the scalar loop at every N."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    _, verified = replay_table
+    assert verified
+
+
+@pytest.mark.campaign
+@pytest.mark.batch
+def test_replay_speedup_floor(replay_table, benchmark):
+    """>= 10x detector-replay throughput at some batch width N >= 32."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows, _ = replay_table
+    eligible = [speedup for n, _, _, speedup in rows if n >= 32]
+    assert eligible, "sweep must include N >= 32"
+    assert max(eligible) >= REPLAY_MIN_SPEEDUP

@@ -14,10 +14,18 @@ Parallelism: campaign execution and threshold training fan out over
 ``REPRO_JOBS`` worker processes (default ``cpu_count - 1``; ``1`` forces
 serial).  Results are bit-identical to serial runs; see
 ``repro.experiments.parallel`` and ``bench_campaign_throughput.py``.
+
+Batching: single-core vectorization over an ``(N_rigs, ...)`` axis is the
+other throughput lever (``repro.sim.batch`` / ``repro.experiments.batch``).
+The ``batch_sizes`` fixture controls the swept widths
+(``REPRO_BENCH_BATCH``, comma-separated, default ``1,8,32,128``) and
+``recorded_stream`` provides the canonical command stream the detector
+replay benchmarks share.
 """
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
@@ -58,3 +66,32 @@ def artifact_writer():
         print(f"\n----- {name} -----\n{content}\n")
 
     return write
+
+
+# --- batched execution ------------------------------------------------------
+
+
+@pytest.fixture(scope="session")
+def batch_sizes():
+    """Batch widths N swept by the batched benchmarks.
+
+    Override with ``REPRO_BENCH_BATCH=1,4,16`` to trade fidelity for
+    time; the replay speedup floor is only asserted when the sweep
+    includes an N >= 32.
+    """
+    raw = os.environ.get("REPRO_BENCH_BATCH", "1,8,32,128")
+    return tuple(int(part) for part in raw.split(",") if part.strip())
+
+
+@pytest.fixture(scope="session")
+def recorded_stream():
+    """One recorded scenario-B command stream (DAC + mpos + pedal) that
+    the detector-replay benchmarks re-evaluate under N detector lanes."""
+    from repro.experiments.batch import CommandStream
+    from repro.sim.runner import run_scenario_b
+
+    result = run_scenario_b(
+        seed=11, error_dac=12000, period_ms=300, duration_s=1.2,
+        raven_safety_enabled=False,
+    )
+    return CommandStream.from_trace(result.trace)

@@ -11,6 +11,9 @@ Public API
 ----------
 - :class:`RavenDynamicModel` — the real-time parallel model.
 - :class:`NextStateEstimator`, :class:`StateEstimate` — one-step prediction.
+- :class:`BatchedDynamicModel`, :class:`BatchedNextStateEstimator`,
+  :class:`BatchedAnomalyDetector` — N-lane vectorized counterparts,
+  bit-identical per lane (see :mod:`repro.dynamics.batch`).
 - :class:`ThresholdLearner`, :class:`SafetyThresholds` — percentile learning.
 - :class:`AnomalyDetector`, :class:`DetectionResult` — alarm fusion.
 - :class:`DetectorGuard`, :class:`MitigationStrategy` — USB-board insertion.
@@ -22,12 +25,25 @@ Public API
 - :mod:`repro.core.metrics` — ACC/TPR/FPR/F1.
 """
 
-from repro.core.dynamic_model import ModelPrediction, RavenDynamicModel
-from repro.core.estimator import NextStateEstimator, StateEstimate
+from repro.core.dynamic_model import (
+    BatchedDynamicModel,
+    BatchedModelPrediction,
+    ModelPrediction,
+    RavenDynamicModel,
+)
+from repro.core.estimator import (
+    BatchedNextStateEstimator,
+    BatchedStateEstimate,
+    NextStateEstimator,
+    StateEstimate,
+)
 from repro.core.thresholds import SafetyThresholds, ThresholdLearner
 from repro.core.detector import (
     AlarmDebouncer,
     AnomalyDetector,
+    BatchedAlarmDebouncer,
+    BatchedAnomalyDetector,
+    BatchedDetectionResult,
     DetectionResult,
     FusionRule,
 )
@@ -44,6 +60,13 @@ from repro.core.metrics import ConfusionMatrix, classification_report
 __all__ = [
     "AlarmDebouncer",
     "AnomalyDetector",
+    "BatchedAlarmDebouncer",
+    "BatchedAnomalyDetector",
+    "BatchedDetectionResult",
+    "BatchedDynamicModel",
+    "BatchedModelPrediction",
+    "BatchedNextStateEstimator",
+    "BatchedStateEstimate",
     "ConfusionMatrix",
     "DetectionResult",
     "DetectorGuard",

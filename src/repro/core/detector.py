@@ -22,11 +22,11 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Optional, Tuple
+from typing import Deque, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.estimator import StateEstimate
+from repro.core.estimator import BatchedStateEstimate, StateEstimate
 from repro.core.thresholds import VARIABLE_GROUPS, SafetyThresholds
 from repro.errors import DetectorError
 from repro.obs.metrics import MARGIN_RATIO_BUCKETS
@@ -202,5 +202,203 @@ class AnomalyDetector:
         """Zero the evaluation/alert counters and the decision window."""
         self.evaluations = 0
         self.alerts = 0
+        if self.debouncer is not None:
+            self.debouncer.reset()
+
+
+class BatchedAlarmDebouncer:
+    """Per-lane M-of-N decision windows over batched alarm streams.
+
+    One :class:`AlarmDebouncer` per lane, vectorized: a ``(lanes, n)``
+    integer ring buffer whose running row sums reproduce each lane's
+    ``sum(deque) >= m`` decision exactly (integer arithmetic — no rounding
+    concerns).  Each lane's window advances only on its own updates, so
+    two lanes alarming in the same cycle debounce independently.
+    """
+
+    def __init__(self, m: int, n: int, lanes: int) -> None:
+        if lanes < 1:
+            raise ValueError("lanes must be >= 1")
+        if n < 1:
+            raise ValueError("decision window size n must be >= 1")
+        if not (1 <= m <= n):
+            raise ValueError("decision threshold m must be in [1, n]")
+        self.m = m
+        self.n = n
+        self.lanes = lanes
+        self._ring = np.zeros((lanes, n), dtype=np.int64)
+        self._sums = np.zeros(lanes, dtype=np.int64)
+        self._pos = np.zeros(lanes, dtype=np.int64)
+        self._filled = np.zeros(lanes, dtype=np.int64)
+
+    def update(
+        self, raw_alerts: np.ndarray, mask: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Push one per-cycle alarm per masked lane; return decisions.
+
+        Unmasked lanes keep their window untouched and report their
+        current decision (``sum >= m`` over the existing window).
+        """
+        raw = np.asarray(raw_alerts, dtype=np.int64)
+        if mask is None:
+            mask = np.ones(self.lanes, dtype=bool)
+        else:
+            mask = np.asarray(mask, dtype=bool)
+        idx = np.nonzero(mask)[0]
+        pos = self._pos[idx]
+        evicted = self._ring[idx, pos]
+        self._ring[idx, pos] = raw[idx]
+        self._sums[idx] += raw[idx] - evicted
+        self._pos[idx] = (pos + 1) % self.n
+        self._filled[idx] = np.minimum(self._filled[idx] + 1, self.n)
+        return self._sums >= self.m
+
+    def reset(self) -> None:
+        """Forget every lane's window."""
+        self._ring[:] = 0
+        self._sums[:] = 0
+        self._pos[:] = 0
+        self._filled[:] = 0
+
+    def lane_window(self, lane: int) -> Tuple[bool, ...]:
+        """One lane's window contents, oldest first (like ``window``)."""
+        count = int(self._filled[lane])
+        pos = int(self._pos[lane])
+        if count < self.n:
+            ordered = self._ring[lane, :count]
+        else:
+            ordered = np.concatenate([self._ring[lane, pos:], self._ring[lane, :pos]])
+        return tuple(bool(v) for v in ordered)
+
+
+class BatchedDetectionResult:
+    """Per-lane detection outcomes for one batched evaluation."""
+
+    __slots__ = ("alert", "alarms", "margins", "raw_alert")
+
+    def __init__(
+        self,
+        alert: np.ndarray,
+        alarms: Dict[str, np.ndarray],
+        margins: Dict[str, np.ndarray],
+        raw_alert: np.ndarray,
+    ) -> None:
+        self.alert = alert
+        self.alarms = alarms
+        self.margins = margins
+        self.raw_alert = raw_alert
+
+    @property
+    def alarm_count(self) -> np.ndarray:
+        """Per-lane count of alarming variable groups."""
+        counts = np.zeros(self.alert.shape[0], dtype=np.int64)
+        for flags in self.alarms.values():
+            counts += flags
+        return counts
+
+    def lane(self, lane: int) -> DetectionResult:
+        """Scalar :class:`DetectionResult` for one lane."""
+        return DetectionResult(
+            alert=bool(self.alert[lane]),
+            alarms={g: bool(v[lane]) for g, v in self.alarms.items()},
+            margins={g: float(v[lane]) for g, v in self.margins.items()},
+            raw_alert=bool(self.raw_alert[lane]),
+        )
+
+
+class BatchedAnomalyDetector:
+    """N detector lanes evaluated in one vectorized pass.
+
+    Thresholds may differ per lane; the fusion rule and decision window
+    shape are shared.  Evaluation and alert counters are **per lane** —
+    two lanes alarming in the same batched cycle each count their own
+    alert (see ``tests/test_batch_equivalence.py``).
+    """
+
+    def __init__(
+        self,
+        thresholds: Sequence[SafetyThresholds],
+        fusion: FusionRule = FusionRule.ALL,
+        decision_window: Optional[Tuple[int, int]] = None,
+    ) -> None:
+        if not thresholds:
+            raise DetectorError("at least one lane of thresholds is required")
+        self.num_lanes = len(thresholds)
+        self.lane_thresholds = tuple(thresholds)
+        self._limits = {
+            group: np.stack(
+                [np.asarray(getattr(t, group), dtype=float) for t in thresholds]
+            )
+            for group in VARIABLE_GROUPS
+        }
+        self.fusion = fusion
+        self.debouncer = (
+            None
+            if decision_window is None
+            else BatchedAlarmDebouncer(*decision_window, lanes=self.num_lanes)
+        )
+        self.evaluations = np.zeros(self.num_lanes, dtype=np.int64)
+        self.alerts = np.zeros(self.num_lanes, dtype=np.int64)
+
+    @classmethod
+    def from_detectors(
+        cls, detectors: Sequence["AnomalyDetector"]
+    ) -> "BatchedAnomalyDetector":
+        """Build from per-lane scalar detectors (shared fusion/window)."""
+        from repro.dynamics.batch import require_homogeneous
+
+        require_homogeneous([d.fusion for d in detectors], "fusion rule")
+        windows = [
+            None if d.debouncer is None else (d.debouncer.m, d.debouncer.n)
+            for d in detectors
+        ]
+        require_homogeneous(windows, "decision window")
+        return cls(
+            [d.thresholds for d in detectors],
+            fusion=detectors[0].fusion,
+            decision_window=windows[0],
+        )
+
+    def evaluate(
+        self,
+        estimate: "BatchedStateEstimate",
+        mask: Optional[np.ndarray] = None,
+    ) -> BatchedDetectionResult:
+        """Evaluate every masked lane's estimated instant rates at once."""
+        if mask is None:
+            mask = np.ones(self.num_lanes, dtype=bool)
+        else:
+            mask = np.asarray(mask, dtype=bool)
+        alarms: Dict[str, np.ndarray] = {}
+        margins: Dict[str, np.ndarray] = {}
+        counts = np.zeros(self.num_lanes, dtype=np.int64)
+        for group in VARIABLE_GROUPS:
+            value = np.abs(getattr(estimate, group))
+            ratio = np.max(value / self._limits[group], axis=1)
+            flags = ratio > 1.0
+            alarms[group] = flags
+            margins[group] = ratio
+            counts += flags
+        total = len(VARIABLE_GROUPS)
+        if self.fusion is FusionRule.ALL:
+            raw_alert = counts == total
+        elif self.fusion is FusionRule.MAJORITY:
+            raw_alert = counts * 2 > total
+        else:
+            raw_alert = counts > 0
+        if self.debouncer is None:
+            alert = raw_alert.copy()
+        else:
+            alert = self.debouncer.update(raw_alert, mask)
+        self.evaluations[mask] += 1
+        self.alerts[mask & alert] += 1
+        return BatchedDetectionResult(
+            alert=alert, alarms=alarms, margins=margins, raw_alert=raw_alert
+        )
+
+    def reset_counters(self) -> None:
+        """Zero every lane's counters and decision window."""
+        self.evaluations[:] = 0
+        self.alerts[:] = 0
         if self.debouncer is not None:
             self.debouncer.reset()

@@ -211,3 +211,136 @@ class RavenDynamicModel:
         """Clear the wall-clock statistics."""
         self.predict_calls = 0
         self.predict_seconds = 0.0
+
+
+class BatchedModelPrediction:
+    """Next-step states predicted for every lane of a batch."""
+
+    __slots__ = ("jpos", "jvel", "mpos", "mvel", "elapsed_s")
+
+    def __init__(
+        self,
+        jpos: np.ndarray,
+        jvel: np.ndarray,
+        mpos: np.ndarray,
+        mvel: np.ndarray,
+        elapsed_s: float,
+    ) -> None:
+        self.jpos = jpos
+        self.jvel = jvel
+        self.mpos = mpos
+        self.mvel = mvel
+        self.elapsed_s = elapsed_s
+
+    def lane(self, lane: int) -> ModelPrediction:
+        """Scalar-shaped prediction for one lane (row copies)."""
+        return ModelPrediction(
+            jpos=self.jpos[lane].copy(),
+            jvel=self.jvel[lane].copy(),
+            mpos=self.mpos[lane].copy(),
+            mvel=self.mvel[lane].copy(),
+            elapsed_s=self.elapsed_s,
+        )
+
+
+class BatchedDynamicModel:
+    """N independent :class:`RavenDynamicModel` lanes stepped in one shot.
+
+    Wraps the per-lane scalar models (which stay authoritative for
+    configuration, drift and telemetry) and evaluates their one-step
+    predictions through :mod:`repro.dynamics.batch`, bit-identical to
+    calling each scalar model in a loop.  Lanes may differ in
+    ``parameter_error`` and drift state; integrator and step size must be
+    shared.
+    """
+
+    def __init__(self, models: Sequence[RavenDynamicModel]) -> None:
+        from repro.dynamics.batch import (
+            BatchedManipulatorDynamics,
+            get_batch_integrator,
+            require_homogeneous,
+        )
+
+        if not models:
+            raise ValueError("at least one lane model is required")
+        require_homogeneous([m.integrator_name for m in models], "model integrator")
+        require_homogeneous([m.dt for m in models], "model dt")
+        require_homogeneous([m.motors for m in models], "model motors")
+        require_homogeneous(
+            [m.transmission.joint_to_motor for m in models], "model transmission"
+        )
+        self.models = list(models)
+        self.num_lanes = len(models)
+        first = models[0]
+        self.transmission = first.transmission
+        self.integrator_name = first.integrator_name
+        self.dt = first.dt
+        self._g = self.transmission.joint_to_motor
+        self._kt = first._kt
+        self._i_max = first._i_max
+        self._refl_m = first._refl_m
+        self._refl_b = first._refl_b
+        self._stepper = get_batch_integrator(first.integrator_name)
+        # Per-lane dynamics parameters, refreshed lazily when a lane's
+        # scalar model rebuilds its ManipulatorDynamics (parameter drift).
+        self.dynamics = BatchedManipulatorDynamics([m.dynamics for m in models])
+        self._lane_dynamics = [m.dynamics for m in models]
+        self.predict_calls = 0
+        self.predict_seconds = 0.0
+
+    def refresh_parameters(self) -> None:
+        """Pick up per-lane parameter drift.
+
+        ``RavenDynamicModel.apply_parameter_drift`` replaces the lane's
+        ``dynamics`` object, so an identity check per lane is enough to
+        notice and restack just the drifted rows.
+        """
+        for lane, model in enumerate(self.models):
+            if model.dynamics is not self._lane_dynamics[lane]:
+                self.dynamics.refresh_lane(lane, model.dynamics)
+                self._lane_dynamics[lane] = model.dynamics
+
+    def step(
+        self, jpos: np.ndarray, jvel: np.ndarray, dac_values: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Integrate every lane one control period under its DAC row."""
+        from repro.dynamics.batch import batched_dac_to_current, batched_matvec
+
+        setpoints = np.clip(
+            batched_dac_to_current(dac_values), -self._i_max, self._i_max
+        )
+        tau_joint = batched_matvec(self._g.T, self._kt * setpoints)
+        dynamics = self.dynamics
+        refl_m, refl_b = self._refl_m, self._refl_b
+
+        def f(_t: float, y: np.ndarray) -> np.ndarray:
+            qddot = dynamics.acceleration(
+                y[:, 0:3],
+                y[:, 3:6],
+                tau_joint,
+                extra_inertia=refl_m,
+                extra_damping=refl_b,
+            )
+            return np.concatenate([y[:, 3:6], qddot], axis=1)
+
+        y = self._stepper(f, 0.0, np.concatenate([jpos, jvel], axis=1), self.dt)
+        return y[:, 0:3], y[:, 3:6]
+
+    def predict(
+        self, jpos: np.ndarray, jvel: np.ndarray, dac_values: np.ndarray
+    ) -> BatchedModelPrediction:
+        """One-step prediction for all lanes with batch-level timing."""
+        from repro.dynamics.batch import batched_matvec
+
+        with Stopwatch() as probe:
+            jpos_next, jvel_next = self.step(jpos, jvel, dac_values)
+        elapsed = probe.elapsed_s
+        self.predict_calls += 1
+        self.predict_seconds += elapsed
+        return BatchedModelPrediction(
+            jpos=jpos_next,
+            jvel=jvel_next,
+            mpos=batched_matvec(self._g, jpos_next),
+            mvel=batched_matvec(self._g, jvel_next),
+            elapsed_s=elapsed,
+        )

@@ -21,7 +21,11 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro import constants
-from repro.core.dynamic_model import RavenDynamicModel
+from repro.core.dynamic_model import (
+    BatchedDynamicModel,
+    BatchedModelPrediction,
+    RavenDynamicModel,
+)
 
 
 class StateEstimate:
@@ -176,6 +180,196 @@ class NextStateEstimator:
         # Using the predicted *next* velocities — not the position deltas —
         # makes a torque spike visible on the very first corrupted packet.
         return StateEstimate(
+            motor_velocity=prediction.mvel,
+            motor_acceleration=(prediction.mvel - mvel_now) / self.dt,
+            joint_velocity=prediction.jvel,
+            jpos_next=prediction.jpos,
+            jvel_next=prediction.jvel,
+            elapsed_s=prediction.elapsed_s,
+        )
+
+
+class BatchedStateEstimate:
+    """Per-lane instant rates for one batched cycle (``(N, 3)`` arrays).
+
+    Only rows whose lane was selected in the ``estimate`` mask are
+    meaningful; :meth:`lane` extracts a scalar-shaped view for the
+    per-lane detector.
+    """
+
+    __slots__ = (
+        "motor_velocity",
+        "motor_acceleration",
+        "joint_velocity",
+        "jpos_next",
+        "jvel_next",
+        "elapsed_s",
+    )
+
+    def __init__(
+        self,
+        motor_velocity: np.ndarray,
+        motor_acceleration: np.ndarray,
+        joint_velocity: np.ndarray,
+        jpos_next: np.ndarray,
+        jvel_next: np.ndarray,
+        elapsed_s: float,
+    ) -> None:
+        self.motor_velocity = motor_velocity
+        self.motor_acceleration = motor_acceleration
+        self.joint_velocity = joint_velocity
+        self.jpos_next = jpos_next
+        self.jvel_next = jvel_next
+        self.elapsed_s = elapsed_s
+
+    def lane(self, lane: int) -> StateEstimate:
+        """Scalar :class:`StateEstimate` for one lane (row copies)."""
+        return StateEstimate(
+            motor_velocity=self.motor_velocity[lane].copy(),
+            motor_acceleration=self.motor_acceleration[lane].copy(),
+            joint_velocity=self.joint_velocity[lane].copy(),
+            jpos_next=self.jpos_next[lane].copy(),
+            jvel_next=self.jvel_next[lane].copy(),
+            elapsed_s=self.elapsed_s,
+        )
+
+
+class BatchedNextStateEstimator:
+    """N estimator lanes advanced by masked batch operations.
+
+    Mirrors :class:`NextStateEstimator` per lane, bit for bit: sync and
+    coast updates are computed for every lane and applied through
+    ``np.where`` selection, so a lane's state bytes after any sequence of
+    masked operations equal a scalar estimator fed the same sequence.
+    Lanes that were never synced hold zeros internally; their garbage
+    intermediate values are computed and discarded, exactly like the dead
+    branches of the scalar code path.
+    """
+
+    def __init__(
+        self,
+        models: Sequence[RavenDynamicModel],
+        dt: float = constants.CONTROL_PERIOD_S,
+        velocity_filter_alpha: float = 0.5,
+    ) -> None:
+        if not (0.0 < velocity_filter_alpha <= 1.0):
+            raise ValueError("velocity_filter_alpha must be in (0, 1]")
+        self.model = BatchedDynamicModel(models)
+        self.num_lanes = self.model.num_lanes
+        self.dt = dt
+        self.alpha = velocity_filter_alpha
+        n = self.num_lanes
+        self._g = self.model.transmission.joint_to_motor
+        # The transmission's own precomputed inverse — same bytes the
+        # scalar estimator multiplies by in joint_positions().
+        self._g_inv = self.model.transmission._g_inv
+        self._jpos = np.zeros((n, 3))
+        self._jvel = np.zeros((n, 3))
+        self._synced = np.zeros(n, dtype=bool)
+        self._predicted_jpos = np.zeros((n, 3))
+        self._predicted_jvel = np.zeros((n, 3))
+        self._has_prediction = np.zeros(n, dtype=bool)
+        self.coast_streak = np.zeros(n, dtype=int)
+
+    @classmethod
+    def from_estimators(
+        cls, estimators: Sequence[NextStateEstimator]
+    ) -> "BatchedNextStateEstimator":
+        """Build from per-lane scalar estimators (must be pristine)."""
+        from repro.dynamics.batch import require_homogeneous
+
+        require_homogeneous([e.dt for e in estimators], "estimator dt")
+        require_homogeneous([e.alpha for e in estimators], "velocity_filter_alpha")
+        for est in estimators:
+            if est.synced:
+                raise ValueError("lane estimators must not have ingested state yet")
+        return cls(
+            [e.model for e in estimators],
+            dt=estimators[0].dt,
+            velocity_filter_alpha=estimators[0].alpha,
+        )
+
+    @property
+    def synced(self) -> np.ndarray:
+        """Per-lane synced flags (copy)."""
+        return self._synced.copy()
+
+    def lane_jpos(self, lane: int) -> Optional[np.ndarray]:
+        """Lane joint-position estimate (None before first sync)."""
+        if not self._synced[lane]:
+            return None
+        return self._jpos[lane].copy()
+
+    def lane_jvel(self, lane: int) -> np.ndarray:
+        """Lane joint-velocity estimate."""
+        return self._jvel[lane].copy()
+
+    def _full_mask(self, mask: Optional[np.ndarray]) -> np.ndarray:
+        if mask is None:
+            return np.ones(self.num_lanes, dtype=bool)
+        return np.asarray(mask, dtype=bool)
+
+    def sync(self, mpos_measured: np.ndarray, mask: Optional[np.ndarray] = None) -> None:
+        """Ingest measurements for the masked lanes (rows of ``(N, 3)``).
+
+        Unmasked rows of ``mpos_measured`` are ignored (they may hold
+        stale values, but must be finite).
+        """
+        from repro.dynamics.batch import batched_matvec
+
+        mask = self._full_mask(mask)
+        mpos = np.asarray(mpos_measured, dtype=float)
+        jpos = batched_matvec(self._g_inv, mpos)
+        raw_vel = (jpos - self._jpos) / self.dt
+        measured = self.alpha * raw_vel + (1.0 - self.alpha) * self._jvel
+        corrected = np.where(
+            self._has_prediction[:, None],
+            0.5 * self._predicted_jvel + 0.5 * measured,
+            measured,
+        )
+        # First sync of a lane resets its velocity, matching the scalar
+        # `if self._jpos is None` branch.
+        new_jvel = np.where(self._synced[:, None], corrected, 0.0)
+        lane_rows = mask[:, None]
+        self._jvel = np.where(lane_rows, new_jvel, self._jvel)
+        self._jpos = np.where(lane_rows, jpos, self._jpos)
+        self._has_prediction &= ~mask
+        self.coast_streak[mask] = 0
+        self._synced |= mask
+
+    def coast(self, mask: Optional[np.ndarray] = None) -> None:
+        """Advance the masked lanes one cycle without a measurement."""
+        mask = self._full_mask(mask)
+        # Never-synced lanes are a no-op, matching the scalar early return.
+        affected = mask & self._synced
+        roll = affected & self._has_prediction
+        roll_rows = roll[:, None]
+        self._jpos = np.where(roll_rows, self._predicted_jpos, self._jpos)
+        self._jvel = np.where(roll_rows, self._predicted_jvel, self._jvel)
+        self._has_prediction &= ~affected
+        self.coast_streak[affected] += 1
+
+    def estimate(
+        self, dac_values: np.ndarray, mask: Optional[np.ndarray] = None
+    ) -> BatchedStateEstimate:
+        """Estimate instant rates for the masked lanes under their DACs.
+
+        The model runs over every lane (unsynced lanes propagate their
+        zero placeholder state, whose results are discarded); predictions
+        are stored only for masked lanes so coasting lanes keep theirs.
+        """
+        from repro.dynamics.batch import batched_matvec
+
+        mask = self._full_mask(mask)
+        if np.any(mask & ~self._synced):
+            raise RuntimeError("estimator lane not synced: sync() it first")
+        prediction = self.model.predict(self._jpos, self._jvel, dac_values)
+        lane_rows = mask[:, None]
+        self._predicted_jpos = np.where(lane_rows, prediction.jpos, self._predicted_jpos)
+        self._predicted_jvel = np.where(lane_rows, prediction.jvel, self._predicted_jvel)
+        self._has_prediction |= mask
+        mvel_now = batched_matvec(self._g, self._jvel)
+        return BatchedStateEstimate(
             motor_velocity=prediction.mvel,
             motor_acceleration=(prediction.mvel - mvel_now) / self.dt,
             joint_velocity=prediction.jvel,

@@ -157,6 +157,11 @@ class DetectorGuard:
         self._board: Optional[UsbBoard] = None
         self._cycle = 0
         self._block_streak = 0
+        # Batched execution hook (see repro.sim.batch): when set, process()
+        # records the packet with the sink instead of evaluating inline;
+        # the sink later runs the numeric work through the batched
+        # estimator and calls _finish_evaluation() with the results.
+        self._batch_sink = None
         # Forensic stash read by the flight recorder each control cycle:
         # the most recent evaluation, the estimate it was based on, the
         # DAC values the guard actually saw (post-tamper, in scenario B
@@ -239,14 +244,15 @@ class DetectorGuard:
         """
         if self._board is None:
             raise DetectorError("guard not attached to a USB board")
-        self._cycle += 1
-        self.stats.packets_seen += 1
-        self.last_evaluation = None
-        self.last_estimate = None
-        self.last_dac = tuple(packet.dac_values)
-        self.last_blocked = False
-        if self._obs_packets is not None:
-            self._obs_packets.inc()
+        self._begin_packet(packet)
+        if self._batch_sink is not None:
+            # Batched execution: the estimator sync/coast/estimate and the
+            # detector evaluation run later, batched across all lanes, in
+            # the same per-lane order they would here.  The provisional
+            # True keeps the DAC latch deferred until the sink decides.
+            if mpos is None:
+                self.stats.coasted_cycles += 1
+            return self._batch_sink.capture(self, packet, mpos)
 
         if mpos is not None:
             # Same measurement stream the control software uses.
@@ -272,6 +278,27 @@ class DetectorGuard:
         else:
             estimate = self.estimator.estimate(packet.dac_values[:3])
             result = self.detector.evaluate(estimate)
+        return self._finish_evaluation(packet, estimate, result)
+
+    def _begin_packet(self, packet: CommandPacket) -> None:
+        """Per-packet bookkeeping shared by the inline and batched paths."""
+        self._cycle += 1
+        self.stats.packets_seen += 1
+        self.last_evaluation = None
+        self.last_estimate = None
+        self.last_dac = tuple(packet.dac_values)
+        self.last_blocked = False
+        if self._obs_packets is not None:
+            self._obs_packets.inc()
+
+    def _finish_evaluation(
+        self, packet: CommandPacket, estimate: StateEstimate, result: DetectionResult
+    ) -> bool:
+        """Post-evaluation decision chain (alerting, blocking, E-STOP).
+
+        Shared verbatim between the inline path above and the batched
+        sink, so mitigation semantics cannot drift between the two.
+        """
         self.stats.packets_evaluated += 1
         self.last_estimate = estimate
         self.last_evaluation = result

@@ -13,6 +13,8 @@ Public API
 - :class:`ManipulatorDynamics` — 3-DOF link dynamics (M, C, g, friction).
 - :class:`RavenPlant`, :class:`PlantState` — the coupled motor+link plant.
 - :func:`euler_step`, :func:`rk4_step`, :func:`get_integrator` — ODE steppers.
+- :mod:`repro.dynamics.batch` — ``(N_rigs, ...)`` batched evaluation of all
+  of the above, bit-identical per lane to the scalar path.
 """
 
 from repro.dynamics.integrators import (
@@ -28,9 +30,20 @@ from repro.dynamics.transmission import Transmission
 from repro.dynamics.friction import FrictionModel
 from repro.dynamics.manipulator import ManipulatorDynamics, ManipulatorParameters
 from repro.dynamics.plant import PlantState, RavenPlant
+from repro.dynamics.batch import (
+    BATCH_INTEGRATORS,
+    BatchedManipulatorDynamics,
+    BatchedPlant,
+    LanePlantView,
+    get_batch_integrator,
+)
 
 __all__ = [
+    "BATCH_INTEGRATORS",
+    "BatchedManipulatorDynamics",
+    "BatchedPlant",
     "INTEGRATORS",
+    "LanePlantView",
     "MAXON_RE30",
     "MAXON_RE40",
     "FrictionModel",
@@ -41,6 +54,7 @@ __all__ = [
     "RavenPlant",
     "Transmission",
     "euler_step",
+    "get_batch_integrator",
     "get_integrator",
     "heun_step",
     "midpoint_step",

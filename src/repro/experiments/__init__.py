@@ -16,6 +16,23 @@ campaign outcomes) are cached under ``.cache/`` so repeated benchmark runs
 are fast.
 """
 
+from repro.experiments.batch import (
+    BatchedCampaignRunner,
+    CommandStream,
+    ReplayLaneConfig,
+    ReplayResult,
+    replay_detector_batched,
+    replay_detector_scalar,
+)
 from repro.experiments.scale import Scale, current_scale
 
-__all__ = ["Scale", "current_scale"]
+__all__ = [
+    "BatchedCampaignRunner",
+    "CommandStream",
+    "ReplayLaneConfig",
+    "ReplayResult",
+    "Scale",
+    "current_scale",
+    "replay_detector_batched",
+    "replay_detector_scalar",
+]

@@ -1,0 +1,196 @@
+"""Differential equivalence harness for batched multi-rig execution.
+
+The batched execution path (:mod:`repro.sim.batch`) promises *bit
+identity*: running N rigs as one ``(N, ...)`` batch must produce, per
+lane, exactly the :class:`repro.sim.trace.RunTrace` the scalar
+:class:`repro.sim.rig.SurgicalRig` produces from the same seeds — down
+to the last float64 bit, alarm cycle, blocked packet and E-STOP reason.
+
+This module is the referee.  A :class:`LaneRecipe` describes one lane as
+a *factory*: guards, preload libraries and channels are stateful, so the
+scalar and the batched run each build fresh objects from the same
+recipe.  :func:`run_differential` executes both sides and returns an
+:class:`EquivalenceReport` whose :meth:`~EquivalenceReport.assert_equal`
+raises with a per-lane, per-field diff of the trace fingerprints on any
+mismatch.
+
+``tests/test_batch_equivalence.py`` drives this over fault-free runs,
+scenario A/B attacks under every mitigation strategy, physical-fault
+plans and supervisor degraded modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.pipeline import DetectorGuard, GuardSupervisor
+from repro.sim.batch import BatchedSurgicalRig, LaneSpec
+from repro.sim.trace import RunTrace
+
+#: Builds a fresh (spec, trigger, record) triple — or a bare LaneSpec —
+#: for one lane.  Must return *new* stateful objects on every call.
+LaneFactory = Callable[[], Union[LaneSpec, Tuple]]
+
+#: GuardStats counters compared between the scalar and batched run.
+_STAT_FIELDS = (
+    "packets_seen",
+    "packets_evaluated",
+    "alerts",
+    "blocked",
+    "coasted_cycles",
+    "implausible_measurements",
+    "stale_escalations",
+    "alerts_dropped",
+)
+
+
+@dataclass
+class LaneRecipe:
+    """One lane of a differential run, as a reproducible factory.
+
+    ``factory`` returns either a bare :class:`LaneSpec` or a
+    ``(spec, trigger, record)`` triple as produced by
+    :func:`repro.sim.runner.scenario_a_lane` /
+    :func:`~repro.sim.runner.scenario_b_lane`; when a trigger/record pair
+    is present the trace is finalized with it after the run, so attack
+    bookkeeping (first active cycle, activation count) participates in
+    the fingerprint comparison.
+    """
+
+    name: str
+    factory: LaneFactory
+
+    def materialize(self) -> Tuple[LaneSpec, Optional[object], Optional[object]]:
+        made = self.factory()
+        if isinstance(made, LaneSpec):
+            return made, None, None
+        spec, trigger, record = made
+        return spec, trigger, record
+
+
+@dataclass
+class LaneOutcome:
+    """One side's observable result for one lane."""
+
+    trace: RunTrace
+    fingerprint: dict
+    guard_stats: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class EquivalenceReport:
+    """Scalar-vs-batched comparison over all lanes of one differential run."""
+
+    names: List[str]
+    scalar: List[LaneOutcome]
+    batched: List[LaneOutcome]
+
+    @property
+    def mismatches(self) -> List[str]:
+        """Human-readable description of every differing lane/field."""
+        problems: List[str] = []
+        for name, sc, ba in zip(self.names, self.scalar, self.batched):
+            for key in sc.fingerprint:
+                got = ba.fingerprint.get(key)
+                if sc.fingerprint[key] != got:
+                    problems.append(
+                        f"lane {name!r}: fingerprint[{key!r}] "
+                        f"scalar={sc.fingerprint[key]!r} batched={got!r}"
+                    )
+            for key in sc.guard_stats:
+                got = ba.guard_stats.get(key)
+                if sc.guard_stats[key] != got:
+                    problems.append(
+                        f"lane {name!r}: guard.{key} "
+                        f"scalar={sc.guard_stats[key]} batched={got}"
+                    )
+        return problems
+
+    @property
+    def equivalent(self) -> bool:
+        return not self.mismatches
+
+    def assert_equal(self) -> None:
+        """Raise ``AssertionError`` with the full per-lane diff on mismatch."""
+        problems = self.mismatches
+        if problems:
+            raise AssertionError(
+                "batched execution diverged from scalar:\n  "
+                + "\n  ".join(problems)
+            )
+
+
+def _guard_stats(spec: LaneSpec) -> Dict[str, int]:
+    guard = spec.guard
+    if guard is None:
+        return {}
+    stats = guard.stats
+    counters = {name: getattr(stats, name) for name in _STAT_FIELDS}
+    if isinstance(guard, GuardSupervisor):
+        counters["health"] = guard.health.value
+    inner = guard.guard if isinstance(guard, GuardSupervisor) else guard
+    if isinstance(inner, DetectorGuard):
+        detector = inner.detector
+        counters["detector_evaluations"] = detector.evaluations
+        counters["detector_alerts"] = detector.alerts
+    return counters
+
+
+def _finalize_attack(trace: RunTrace, trigger, record) -> None:
+    if trigger is None:
+        return
+    from repro.sim.runner import _finalize
+
+    _finalize(trace, trigger, record)
+
+
+def run_scalar(recipes: Sequence[LaneRecipe]) -> List[LaneOutcome]:
+    """Run every lane alone through the ordinary scalar rig."""
+    outcomes = []
+    for recipe in recipes:
+        spec, trigger, record = recipe.materialize()
+        trace = spec.build().run()
+        _finalize_attack(trace, trigger, record)
+        outcomes.append(
+            LaneOutcome(
+                trace=trace,
+                fingerprint=trace.fingerprint(),
+                guard_stats=_guard_stats(spec),
+            )
+        )
+    return outcomes
+
+
+def run_batched(recipes: Sequence[LaneRecipe]) -> List[LaneOutcome]:
+    """Run all lanes together through one :class:`BatchedSurgicalRig`."""
+    made = [recipe.materialize() for recipe in recipes]
+    rig = BatchedSurgicalRig([spec for spec, _, _ in made])
+    traces = rig.run()
+    outcomes = []
+    for trace, (spec, trigger, record) in zip(traces, made):
+        _finalize_attack(trace, trigger, record)
+        outcomes.append(
+            LaneOutcome(
+                trace=trace,
+                fingerprint=trace.fingerprint(),
+                guard_stats=_guard_stats(spec),
+            )
+        )
+    return outcomes
+
+
+def run_differential(recipes: Sequence[LaneRecipe]) -> EquivalenceReport:
+    """Execute both sides from fresh objects and compare lane by lane."""
+    return EquivalenceReport(
+        names=[recipe.name for recipe in recipes],
+        scalar=run_scalar(recipes),
+        batched=run_batched(recipes),
+    )
+
+
+def assert_equivalent(recipes: Sequence[LaneRecipe]) -> EquivalenceReport:
+    """:func:`run_differential` + :meth:`EquivalenceReport.assert_equal`."""
+    report = run_differential(recipes)
+    report.assert_equal()
+    return report

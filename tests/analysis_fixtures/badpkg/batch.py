@@ -1,0 +1,17 @@
+"""Batch-layer fixtures: ``*.batch`` modules carry the same RPR002
+determinism and RPR004 pool-safety obligations as the scalar path."""
+
+import numpy as np
+
+from repro.experiments.parallel import run_tasks
+
+
+def batched_noise(n):
+    return np.random.rand(n, 3)  # legacy global RNG inside a batch kernel
+
+
+def fan_out_lanes(lanes):
+    def step(lane):  # nested worker: unpicklable across the pool
+        return lane
+
+    return run_tasks(step, lanes)

@@ -32,6 +32,7 @@ FIXTURE_CONFIG = dataclasses.replace(
     guard_hook_allowed_modules=(),
     deterministic_packages=(
         "tests.analysis_fixtures.badpkg.jittery",
+        "tests.analysis_fixtures.badpkg.batch",
         "tests.analysis_fixtures.goodpkg",
     ),
     constants_scope=(
@@ -98,6 +99,18 @@ def test_rpr004_pool_safety_fixture():
         ("RPR004", 17),  # locally bound lambda
         ("RPR004", 21),  # inline lambda (module outside RPR002 scope)
         ("RPR004", 28),  # functools.partial over a nested def
+    ]
+
+
+@pytest.mark.batch
+def test_batch_fixture_carries_rpr002_and_rpr004():
+    """A ``*.batch`` module inside the deterministic scope fires both
+    rule families — vectorization is not an escape hatch from the
+    determinism and pool-safety contracts."""
+    result = run_fixture("badpkg/batch.py")
+    assert rule_lines(result.findings) == [
+        ("RPR002", 10),  # global RNG inside the batch kernel
+        ("RPR004", 17),  # nested worker submitted to the pool
     ]
 
 
@@ -338,6 +351,26 @@ def test_src_tree_is_clean_under_default_config():
     baseline = load_baseline(REPO_ROOT / "analysis_baseline.json")
     new, _ = partition(result.findings, baseline)
     assert new == [], "\n".join(f.format() for f in new)
+
+
+@pytest.mark.batch
+def test_batch_modules_are_in_the_deterministic_scope():
+    """The batched execution layer carries the same bit-identity promise
+    as the scalar path, so RPR002 (determinism) and the RPR004 lambda
+    carve-out must cover every ``*.batch`` module."""
+    from repro.analysis.config import module_matches
+
+    for module in (
+        "repro.dynamics.batch",
+        "repro.sim.batch",
+        "repro.experiments.batch",
+        "repro.core.dynamic_model",
+        "repro.core.estimator",
+        "repro.core.detector",
+    ):
+        assert module_matches(module, DEFAULT_CONFIG.deterministic_packages), (
+            f"{module} must stay under RPR002's deterministic scope"
+        )
 
 
 def test_engine_is_deterministic_across_runs():
