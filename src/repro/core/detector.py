@@ -22,7 +22,7 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Optional, Sequence, Tuple
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -101,6 +101,33 @@ class AlarmDebouncer:
     def window(self) -> Tuple[bool, ...]:
         """The current window contents, oldest first."""
         return tuple(self._window)
+
+    # -- durable state (session checkpoints, see repro.fleet) ----------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe snapshot of the decision-window contents."""
+        return {
+            "m": self.m,
+            "n": self.n,
+            "window": [bool(v) for v in self._window],
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Load a :meth:`snapshot` payload (exact inverse).
+
+        Raises
+        ------
+        ValueError
+            When the stored window shape differs from this debouncer's
+            configuration — a session restores into an identically
+            configured pipeline, never a differently shaped one.
+        """
+        if int(state["m"]) != self.m or int(state["n"]) != self.n:
+            raise ValueError(
+                f"decision-window mismatch: snapshot ({state['m']}, "
+                f"{state['n']}) vs configured ({self.m}, {self.n})"
+            )
+        self._window = deque((bool(v) for v in state["window"]), maxlen=self.n)
 
 
 class AnomalyDetector:
@@ -205,6 +232,35 @@ class AnomalyDetector:
         if self.debouncer is not None:
             self.debouncer.reset()
 
+    # -- durable state (session checkpoints, see repro.fleet) ----------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe snapshot of counters + decision window.
+
+        Thresholds and the fusion rule are configuration, not state — a
+        restored detector is constructed from the same configuration.
+        """
+        return {
+            "evaluations": self.evaluations,
+            "alerts": self.alerts,
+            "debouncer": (
+                None if self.debouncer is None else self.debouncer.snapshot()
+            ),
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Load a :meth:`snapshot` payload (exact inverse)."""
+        window = state.get("debouncer")
+        if (window is None) != (self.debouncer is None):
+            raise ValueError(
+                "decision-window presence mismatch between snapshot and "
+                "configured detector"
+            )
+        self.evaluations = int(state["evaluations"])
+        self.alerts = int(state["alerts"])
+        if self.debouncer is not None:
+            self.debouncer.restore(window)
+
 
 class BatchedAlarmDebouncer:
     """Per-lane M-of-N decision windows over batched alarm streams.
@@ -269,6 +325,26 @@ class BatchedAlarmDebouncer:
         else:
             ordered = np.concatenate([self._ring[lane, pos:], self._ring[lane, :pos]])
         return tuple(bool(v) for v in ordered)
+
+    def remove_lanes(self, lanes: Sequence[int]) -> List[int]:
+        """Eject ``lanes``; surviving rows keep their ring slots verbatim.
+
+        Rows (not columns) are deleted, so a surviving lane's ring
+        contents, write position and fill count — and therefore its next
+        M-of-N decisions — are unchanged.  Returns the old indices of the
+        surviving lanes, in order.
+        """
+        keep = np.ones(self.lanes, dtype=bool)
+        keep[list(lanes)] = False
+        if not keep.any():
+            raise ValueError("cannot remove every lane; drop the batch instead")
+        survivors = [i for i in range(self.lanes) if keep[i]]
+        self._ring = self._ring[keep].copy()
+        self._sums = self._sums[keep].copy()
+        self._pos = self._pos[keep].copy()
+        self._filled = self._filled[keep].copy()
+        self.lanes = len(survivors)
+        return survivors
 
 
 class BatchedDetectionResult:
@@ -402,3 +478,29 @@ class BatchedAnomalyDetector:
         self.alerts[:] = 0
         if self.debouncer is not None:
             self.debouncer.reset()
+
+    def remove_lanes(self, lanes: Sequence[int]) -> List[int]:
+        """Eject ``lanes`` without disturbing the surviving lanes.
+
+        Per-lane threshold rows, evaluation/alert counters and debouncer
+        ring slots are deleted row-wise, so every surviving lane's
+        counters and window state — and its subsequent decisions — are
+        exactly what they would have been had the ejected lane never been
+        batched (``tests/test_batch_equivalence.py`` pins this).  Returns
+        the old indices of the surviving lanes, in order.
+        """
+        keep = np.ones(self.num_lanes, dtype=bool)
+        keep[list(lanes)] = False
+        if not keep.any():
+            raise ValueError("cannot remove every lane; drop the batch instead")
+        survivors = [i for i in range(self.num_lanes) if keep[i]]
+        self.lane_thresholds = tuple(self.lane_thresholds[i] for i in survivors)
+        self._limits = {
+            group: rows[keep].copy() for group, rows in self._limits.items()
+        }
+        self.evaluations = self.evaluations[keep].copy()
+        self.alerts = self.alerts[keep].copy()
+        if self.debouncer is not None:
+            self.debouncer.remove_lanes(lanes)
+        self.num_lanes = len(survivors)
+        return survivors

@@ -16,7 +16,7 @@ control cycle it:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -26,6 +26,27 @@ from repro.core.dynamic_model import (
     BatchedModelPrediction,
     RavenDynamicModel,
 )
+
+
+def hex_vector(values: Optional[np.ndarray]) -> Optional[List[str]]:
+    """Bit-exact, JSON-safe encoding of a float vector (``None`` passes).
+
+    ``float.hex()`` round-trips every finite float64 exactly, so snapshot
+    payloads built from these survive JSON serialization without the
+    last-bit drift that ``str(float)`` could reintroduce on exotic
+    platforms.  The session-checkpoint layer (:mod:`repro.fleet`) builds
+    on this for its bit-identical-resume guarantee.
+    """
+    if values is None:
+        return None
+    return [float(v).hex() for v in np.asarray(values, dtype=float)]
+
+
+def unhex_vector(values: Optional[Sequence[str]]) -> Optional[np.ndarray]:
+    """Exact inverse of :func:`hex_vector`."""
+    if values is None:
+        return None
+    return np.array([float.fromhex(v) for v in values], dtype=float)
 
 
 class StateEstimate:
@@ -160,6 +181,35 @@ class NextStateEstimator:
         self._predicted_jpos = None
         self._predicted_jvel = None
         self.coast_streak += 1
+
+    # -- durable state (session checkpoints, see repro.fleet) ----------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe snapshot of the mutable estimator state.
+
+        Covers exactly what :meth:`restore` needs to resume
+        bit-identically: the joint state, any stored one-step prediction,
+        and the coast streak.  Model *parameters* are configuration, not
+        state — a restored estimator must be constructed from the same
+        configuration.  Floats are hex-encoded (:func:`hex_vector`) so
+        the bytes survive JSON round-trips exactly.
+        """
+        return {
+            "jpos": hex_vector(self._jpos),
+            "jvel": hex_vector(self._jvel),
+            "predicted_jpos": hex_vector(self._predicted_jpos),
+            "predicted_jvel": hex_vector(self._predicted_jvel),
+            "coast_streak": self.coast_streak,
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Load a :meth:`snapshot` payload (exact inverse)."""
+        self._jpos = unhex_vector(state["jpos"])
+        jvel = unhex_vector(state["jvel"])
+        self._jvel = np.zeros(3) if jvel is None else jvel
+        self._predicted_jpos = unhex_vector(state["predicted_jpos"])
+        self._predicted_jvel = unhex_vector(state["predicted_jvel"])
+        self.coast_streak = int(state["coast_streak"])
 
     def estimate(self, dac_values: Sequence[float]) -> StateEstimate:
         """Estimate the instant rates produced by executing ``dac_values``.
@@ -303,6 +353,85 @@ class BatchedNextStateEstimator:
     def lane_jvel(self, lane: int) -> np.ndarray:
         """Lane joint-velocity estimate."""
         return self._jvel[lane].copy()
+
+    # -- per-lane durable state (session checkpoints, see repro.fleet) -------------
+
+    def lane_state(self, lane: int) -> Dict[str, Any]:
+        """One lane's state in :meth:`NextStateEstimator.snapshot` form.
+
+        The payload restores bit-identically into a scalar estimator (or
+        back into a lane via :meth:`load_lane_state`): unsynced lanes map
+        to ``jpos=None`` exactly like a scalar estimator before its first
+        measurement, and prediction rows are only emitted while the lane
+        actually holds one.
+        """
+        synced = bool(self._synced[lane])
+        has_prediction = bool(self._has_prediction[lane])
+        return {
+            "jpos": hex_vector(self._jpos[lane]) if synced else None,
+            "jvel": hex_vector(self._jvel[lane]),
+            "predicted_jpos": (
+                hex_vector(self._predicted_jpos[lane]) if has_prediction else None
+            ),
+            "predicted_jvel": (
+                hex_vector(self._predicted_jvel[lane]) if has_prediction else None
+            ),
+            "coast_streak": int(self.coast_streak[lane]),
+        }
+
+    def load_lane_state(self, lane: int, state: Dict[str, Any]) -> None:
+        """Install a scalar snapshot into one lane (inverse of
+        :meth:`lane_state`).
+
+        This is how a resumed session re-enters a batched pack: the pack
+        is constructed pristine from the session's configured models,
+        then each lane is loaded from its checkpoint.
+        """
+        jpos = unhex_vector(state["jpos"])
+        self._synced[lane] = jpos is not None
+        self._jpos[lane] = 0.0 if jpos is None else jpos
+        jvel = unhex_vector(state["jvel"])
+        self._jvel[lane] = 0.0 if jvel is None else jvel
+        predicted = unhex_vector(state["predicted_jpos"])
+        self._has_prediction[lane] = predicted is not None
+        if predicted is None:
+            self._predicted_jpos[lane] = 0.0
+            self._predicted_jvel[lane] = 0.0
+        else:
+            self._predicted_jpos[lane] = predicted
+            self._predicted_jvel[lane] = unhex_vector(state["predicted_jvel"])
+        self.coast_streak[lane] = int(state["coast_streak"])
+
+    def remove_lanes(self, lanes: Sequence[int]) -> List[int]:
+        """Eject ``lanes``; surviving rows keep their exact state bytes.
+
+        Returns the *old* indices of the surviving lanes, in order — the
+        caller's old-to-new index map (survivor ``old`` becomes new lane
+        ``survivors.index(old)``).  Quarantining a session out of a fleet
+        pack must not disturb anyone else's estimator state; the batch
+        layer's row-wise operations make the surviving rows byte-identical
+        whether the ejected lane was ever present.
+
+        Raises
+        ------
+        ValueError
+            When asked to remove every lane — drop the whole pack instead.
+        """
+        keep = np.ones(self.num_lanes, dtype=bool)
+        keep[list(lanes)] = False
+        if not keep.any():
+            raise ValueError("cannot remove every lane; drop the pack instead")
+        survivors = [i for i in range(self.num_lanes) if keep[i]]
+        self.model = BatchedDynamicModel([self.model.models[i] for i in survivors])
+        self.num_lanes = len(survivors)
+        self._jpos = self._jpos[keep].copy()
+        self._jvel = self._jvel[keep].copy()
+        self._synced = self._synced[keep].copy()
+        self._predicted_jpos = self._predicted_jpos[keep].copy()
+        self._predicted_jvel = self._predicted_jvel[keep].copy()
+        self._has_prediction = self._has_prediction[keep].copy()
+        self.coast_streak = self.coast_streak[keep].copy()
+        return survivors
 
     def _full_mask(self, mask: Optional[np.ndarray]) -> np.ndarray:
         if mask is None:

@@ -32,13 +32,18 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.control.state_machine import RobotState
 from repro.core.detector import AnomalyDetector, DetectionResult
-from repro.core.estimator import NextStateEstimator, StateEstimate
+from repro.core.estimator import (
+    NextStateEstimator,
+    StateEstimate,
+    hex_vector,
+    unhex_vector,
+)
 from repro.core.mitigation import MitigationStrategy
 from repro.errors import DetectorError
 from repro.hw.usb_board import UsbBoard
@@ -70,6 +75,26 @@ class AlertEvent:
     state: RobotState
     result: DetectionResult
     blocked: bool
+
+
+def _result_to_dict(result: DetectionResult) -> Dict[str, Any]:
+    """Bit-exact serialization of a :class:`DetectionResult` (margins are
+    float64, stored as ``float.hex()`` so JSON round-trips cannot drift)."""
+    return {
+        "alert": result.alert,
+        "alarms": dict(result.alarms),
+        "margins": {k: float(v).hex() for k, v in result.margins.items()},
+        "raw_alert": result.raw_alert,
+    }
+
+
+def _result_from_dict(data: Dict[str, Any]) -> DetectionResult:
+    return DetectionResult(
+        alert=data["alert"],
+        alarms=dict(data["alarms"]),
+        margins={k: float.fromhex(v) for k, v in data["margins"].items()},
+        raw_alert=data["raw_alert"],
+    )
 
 
 @dataclass
@@ -127,6 +152,60 @@ class GuardStats:
             return
         self.health = health
         self.health_transitions.append((cycle, health))
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-serializable snapshot of every counter and event log."""
+        return {
+            "packets_seen": self.packets_seen,
+            "packets_evaluated": self.packets_evaluated,
+            "alerts": self.alerts,
+            "blocked": self.blocked,
+            "alerts_dropped": self.alerts_dropped,
+            "coasted_cycles": self.coasted_cycles,
+            "implausible_measurements": self.implausible_measurements,
+            "stale_escalations": self.stale_escalations,
+            "health": self.health.value,
+            "health_transitions": [
+                [cycle, health.value] for cycle, health in self.health_transitions
+            ],
+            "alert_events": [
+                {
+                    "cycle": event.cycle,
+                    "state": event.state.name,
+                    "result": _result_to_dict(event.result),
+                    "blocked": event.blocked,
+                }
+                for event in self.alert_events
+            ],
+        }
+
+    @classmethod
+    def from_snapshot(cls, data: Dict[str, Any]) -> "GuardStats":
+        """Rebuild the exact stats object :meth:`snapshot` captured."""
+        return cls(
+            packets_seen=data["packets_seen"],
+            packets_evaluated=data["packets_evaluated"],
+            alerts=data["alerts"],
+            blocked=data["blocked"],
+            alerts_dropped=data["alerts_dropped"],
+            coasted_cycles=data["coasted_cycles"],
+            implausible_measurements=data["implausible_measurements"],
+            stale_escalations=data["stale_escalations"],
+            health=GuardHealth(data["health"]),
+            health_transitions=[
+                (cycle, GuardHealth(value))
+                for cycle, value in data["health_transitions"]
+            ],
+            alert_events=[
+                AlertEvent(
+                    cycle=event["cycle"],
+                    state=RobotState[event["state"]],
+                    result=_result_from_dict(event["result"]),
+                    blocked=event["blocked"],
+                )
+                for event in data["alert_events"]
+            ],
+        )
 
 
 class DetectorGuard:
@@ -220,6 +299,39 @@ class DetectorGuard:
         The bare guard has no time-based behaviour; the supervisor
         overrides this with its staleness watchdog.
         """
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-serializable snapshot of all resumable guard state.
+
+        Captures the cycle counter, block streak, statistics, estimator
+        memory, and detector counters/decision window.  Configuration
+        (strategy, thresholds, model parameters) is *not* state — resume
+        reconstructs the guard from the same config, then restores this.
+        """
+        return {
+            "cycle": self._cycle,
+            "block_streak": self._block_streak,
+            "stats": self.stats.snapshot(),
+            "estimator": self.estimator.snapshot(),
+            "detector": self.detector.snapshot(),
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Inverse of :meth:`snapshot` — resume bit-identically.
+
+        The forensic stash (``last_evaluation`` etc.) is transient
+        per-packet output, not resumable state; it is cleared here and
+        repopulated on the next processed packet.
+        """
+        self._cycle = state["cycle"]
+        self._block_streak = state["block_streak"]
+        self.stats = GuardStats.from_snapshot(state["stats"])
+        self.estimator.restore(state["estimator"])
+        self.detector.restore(state["detector"])
+        self.last_evaluation = None
+        self.last_estimate = None
+        self.last_dac = None
+        self.last_blocked = False
 
     def read_measurement(self) -> np.ndarray:
         """The motor-shaft measurement the control software also sees."""
@@ -455,6 +567,46 @@ class GuardSupervisor:
         self._cycle = 0
         self._last_packet_cycle = None
 
+    #: Schema version of :meth:`snapshot` payloads.  Bump on any layout
+    #: change so stores reject snapshots they cannot faithfully restore.
+    SNAPSHOT_VERSION = 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-serializable snapshot of supervisor + wrapped guard state."""
+        return {
+            "version": self.SNAPSHOT_VERSION,
+            "config": self.config.to_dict(),
+            "cycle": self._cycle,
+            "last_packet_cycle": self._last_packet_cycle,
+            "coast_streak": self._coast_streak,
+            "last_mpos": hex_vector(self._last_mpos),
+            "guard": self.guard.snapshot(),
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Inverse of :meth:`snapshot` — resume bit-identically.
+
+        Raises :class:`ValueError` when the snapshot schema version or the
+        supervisor config does not match: restoring state produced under a
+        different plausibility gate or coast cap would silently change
+        every subsequent health decision.
+        """
+        if state["version"] != self.SNAPSHOT_VERSION:
+            raise ValueError(
+                f"supervisor snapshot version {state['version']} != "
+                f"supported {self.SNAPSHOT_VERSION}"
+            )
+        if state["config"] != self.config.to_dict():
+            raise ValueError(
+                "supervisor snapshot was taken under a different config; "
+                "rebuild the supervisor with the stored config to restore"
+            )
+        self._cycle = state["cycle"]
+        self._last_packet_cycle = state["last_packet_cycle"]
+        self._coast_streak = state["coast_streak"]
+        self._last_mpos = unhex_vector(state["last_mpos"])
+        self.guard.restore(state["guard"])
+
     # -- degraded-mode machinery -------------------------------------------------
 
     def _plausible(self, mpos: np.ndarray) -> bool:
@@ -492,26 +644,35 @@ class GuardSupervisor:
             raise DetectorError("supervisor not attached to a USB board")
         self._last_packet_cycle = self._cycle
         if self.stats.health is GuardHealth.ESTOPPED:
-            # Post-escalation packets are not evaluated; the PLC holds the
-            # robot and the operator must clear the E-STOP.  Clear the
-            # forensic stash so the flight recorder does not attribute a
-            # stale evaluation to these cycles.
-            self.guard.last_evaluation = None
-            self.guard.last_estimate = None
-            self.guard.last_dac = tuple(packet.dac_values)
-            self.guard.last_blocked = True
-            return False
+            # Read no encoders post-escalation: the encoder-noise RNG must
+            # not advance on cycles the PLC already holds.
+            return self._reject_estopped(packet)
+        return self.process(packet, self.guard.read_measurement())
 
-        mpos = self.guard.read_measurement()
-        if self._plausible(mpos):
+    def process(self, packet: CommandPacket, mpos: Optional[np.ndarray]) -> bool:
+        """Measurement-supplied entry point (fleet/telemetry deployments).
+
+        ``mpos`` is the motor-shaft measurement accompanying this packet,
+        or ``None`` when the telemetry frame carried no measurement; both
+        run through the same plausibility gate / coast / escalation
+        machinery as the on-board path.
+        """
+        self._last_packet_cycle = self._cycle
+        if self.stats.health is GuardHealth.ESTOPPED:
+            return self._reject_estopped(packet)
+
+        if mpos is not None and self._plausible(mpos):
             self._last_mpos = mpos
             self._coast_streak = 0
             if self.stats.health is GuardHealth.COASTING:
                 self.stats.record_health(self._cycle, GuardHealth.NOMINAL)
             return self.guard.process(packet, mpos)
 
-        # Degraded mode: reject the measurement, coast on the model.
-        self.stats.implausible_measurements += 1
+        # Degraded mode: reject the measurement, coast on the model.  Only
+        # an actual reading counts as implausible; a missing one is pure
+        # coasting.
+        if mpos is not None:
+            self.stats.implausible_measurements += 1
         self._coast_streak += 1
         self.stats.record_health(self._cycle, GuardHealth.COASTING)
         if self._coast_streak > self.config.max_coast_cycles:
@@ -521,3 +682,14 @@ class GuardSupervisor:
             )
             return not self.config.estop_on_stale
         return self.guard.process(packet, None)
+
+    def _reject_estopped(self, packet: CommandPacket) -> bool:
+        # Post-escalation packets are not evaluated; the PLC holds the
+        # robot and the operator must clear the E-STOP.  Clear the
+        # forensic stash so the flight recorder does not attribute a
+        # stale evaluation to these cycles.
+        self.guard.last_evaluation = None
+        self.guard.last_estimate = None
+        self.guard.last_dac = tuple(packet.dac_values)
+        self.guard.last_blocked = True
+        return False

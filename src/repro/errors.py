@@ -96,3 +96,20 @@ class CacheCorruptionError(ExecutionError):
 
 class ChaosFault(ExecutionError):
     """An error injected deliberately by the fault-injection harness."""
+
+
+class FleetError(ReproError):
+    """Raised by the fleet supervisor (session registry, ingest, packs)."""
+
+
+class SessionStoreError(FleetError):
+    """A session-store operation failed after exhausting its retry policy."""
+
+
+class SnapshotIntegrityError(SessionStoreError):
+    """A stored session snapshot failed its checksum or schema validation."""
+
+
+class BackpressureError(FleetError):
+    """An ingest queue rejected a frame because it is full (bounded queues
+    shed load explicitly instead of silently dropping telemetry)."""

@@ -87,6 +87,28 @@ def _fig9(jobs=None) -> str:
     return "\n".join(lines)
 
 
+def _fleet(jobs=None) -> str:
+    from repro.experiments.fleet import format_results, run_fleet_campaign
+    from repro.fleet import InMemorySessionStore
+    from repro.testing import ChaosInjector, FaultPlan, FaultSpec
+
+    plan = FaultPlan(
+        specs=[
+            FaultSpec(kind="session_kill", match="rig-001", index=40),
+            FaultSpec(kind="store_corrupt", match="rig-002", index=30),
+            FaultSpec(kind="session_kill", match="rig-002", index=50),
+            FaultSpec(kind="slow_consumer", match="rig-003", index=20, hang_s=8),
+        ]
+    )
+    result = run_fleet_campaign(
+        num_sessions=8,
+        ticks=128,
+        store=InMemorySessionStore(),
+        injector=ChaosInjector(plan),
+    )
+    return format_results(result)
+
+
 def _robustness(jobs=None) -> str:
     from repro.experiments.robustness import (
         format_results,
@@ -110,6 +132,7 @@ ARTIFACTS: Dict[str, Callable[[], str]] = {
     "table4": _table4,
     "fig9": _fig9,
     "robustness": _robustness,
+    "fleet": _fleet,
 }
 
 

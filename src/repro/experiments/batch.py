@@ -276,13 +276,8 @@ class CommandStream:
 
     @classmethod
     def from_trace(cls, trace: RunTrace) -> "CommandStream":
-        return cls(
-            dac=np.ascontiguousarray(trace.dac_array, dtype=float),
-            mpos=np.ascontiguousarray(trace.mpos_array, dtype=float),
-            pedal_down=np.array(
-                [state is RobotState.PEDAL_DOWN for state in trace.states]
-            ),
-        )
+        dac, mpos, pedal_down = trace.detector_stream()
+        return cls(dac=dac, mpos=mpos, pedal_down=pedal_down)
 
 
 @dataclass(frozen=True)

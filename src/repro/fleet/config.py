@@ -1,0 +1,90 @@
+"""Fleet-supervisor tuning, resolved through :mod:`repro.envcfg`.
+
+Every knob has a ``REPRO_FLEET_*`` environment variable (the fleet's
+whole env surface, greppable here and documented in the README):
+
+======================================  =======================================
+``REPRO_FLEET_QUEUE_DEPTH``             per-session ingest queue bound
+``REPRO_FLEET_STALE_TICKS``             ticks without frames before STALE
+``REPRO_FLEET_MAX_COAST_TICKS``         coast cap for degraded sessions
+``REPRO_FLEET_CHECKPOINT_EVERY``        ticks between session checkpoints
+``REPRO_FLEET_STORE_RETRIES``           extra attempts per store operation
+``REPRO_FLEET_STORE_BACKOFF_S``         sleep between store retries
+``REPRO_FLEET_MAX_SESSIONS``            registration cap per supervisor
+======================================  =======================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.envcfg import env_float, env_int
+
+ENV_QUEUE_DEPTH = "REPRO_FLEET_QUEUE_DEPTH"
+ENV_STALE_TICKS = "REPRO_FLEET_STALE_TICKS"
+ENV_MAX_COAST_TICKS = "REPRO_FLEET_MAX_COAST_TICKS"
+ENV_CHECKPOINT_EVERY = "REPRO_FLEET_CHECKPOINT_EVERY"
+ENV_STORE_RETRIES = "REPRO_FLEET_STORE_RETRIES"
+ENV_STORE_BACKOFF_S = "REPRO_FLEET_STORE_BACKOFF_S"
+ENV_MAX_SESSIONS = "REPRO_FLEET_MAX_SESSIONS"
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Tuning of one :class:`repro.fleet.FleetSupervisor`.
+
+    ``queue_depth`` bounds each session's ingest queue; a full queue
+    rejects new frames (explicit backpressure) instead of silently
+    dropping old ones.  ``stale_after_ticks``/``max_coast_ticks`` seed
+    each session's :class:`repro.core.SupervisorConfig`, so stale
+    telemetry walks the existing coast -> STALE -> PLC E-STOP machine.
+    ``checkpoint_every`` is the durability cadence: a killed session
+    loses at most that many ticks of progress.  ``store_retries`` and
+    ``store_backoff_s`` govern the retry wrapper around session-store
+    I/O; a session whose checkpoint still fails after the retries is
+    quarantined, not silently left non-durable.
+    """
+
+    queue_depth: int = 64
+    stale_after_ticks: int = 64
+    max_coast_ticks: int = 16
+    checkpoint_every: int = 32
+    store_retries: int = 2
+    store_backoff_s: float = 0.01
+    max_sessions: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if self.max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
+        if self.store_retries < 0:
+            raise ValueError("store_retries must be >= 0")
+
+    @classmethod
+    def from_env(cls) -> "FleetConfig":
+        """A config with any set ``REPRO_FLEET_*`` overrides applied."""
+        defaults = cls()
+
+        def pick_int(name: str, default: int) -> int:
+            value = env_int(name)
+            return default if value is None else value
+
+        backoff = env_float(ENV_STORE_BACKOFF_S)
+        return cls(
+            queue_depth=pick_int(ENV_QUEUE_DEPTH, defaults.queue_depth),
+            stale_after_ticks=pick_int(ENV_STALE_TICKS, defaults.stale_after_ticks),
+            max_coast_ticks=pick_int(
+                ENV_MAX_COAST_TICKS, defaults.max_coast_ticks
+            ),
+            checkpoint_every=pick_int(
+                ENV_CHECKPOINT_EVERY, defaults.checkpoint_every
+            ),
+            store_retries=pick_int(ENV_STORE_RETRIES, defaults.store_retries),
+            store_backoff_s=(
+                defaults.store_backoff_s if backoff is None else backoff
+            ),
+            max_sessions=pick_int(ENV_MAX_SESSIONS, defaults.max_sessions),
+        )

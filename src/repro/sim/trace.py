@@ -107,6 +107,26 @@ class RunTrace:
         """All E-STOP reasons recorded during the run."""
         return [reason for _t, reason in self.estop_events]
 
+    def detector_stream(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The detector-facing telemetry of this run, as arrays.
+
+        Returns ``(dac, mpos, pedal_down)``: the commanded DAC values
+        ``(n, 3)``, the measured motor positions ``(n, 3)``, and the
+        per-cycle Pedal Down flags ``(n,)``.  This is the single
+        extraction seam shared by the vectorized detector replay
+        (``repro.experiments.batch.CommandStream``) and the fleet
+        supervisor's telemetry frames (``repro.experiments.fleet``) — one
+        recorded run can drive either without re-simulating the robot.
+        """
+        return (
+            np.ascontiguousarray(self.dac_array, dtype=float),
+            np.ascontiguousarray(self.mpos_array, dtype=float),
+            np.array(
+                [state is RobotState.PEDAL_DOWN for state in self.states],
+                dtype=bool,
+            ),
+        )
+
     # -- impact analysis --------------------------------------------------------------
 
     def max_jump(

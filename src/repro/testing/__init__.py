@@ -30,6 +30,7 @@ from repro.testing.differential import (
 )
 from repro.testing.faults import (
     CACHE_FAULT_KINDS,
+    FLEET_FAULT_KINDS,
     TASK_FAULT_KINDS,
     ChaosFault,
     ChaosInjector,
@@ -40,6 +41,7 @@ from repro.testing.golden import GoldenStore, campaign_fingerprint
 
 __all__ = [
     "CACHE_FAULT_KINDS",
+    "FLEET_FAULT_KINDS",
     "TASK_FAULT_KINDS",
     "ChaosFault",
     "ChaosInjector",

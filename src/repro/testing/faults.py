@@ -50,6 +50,13 @@ TASK_FAULT_KINDS = ("raise", "crash", "hang")
 #: Fault kinds that corrupt cache files as they are written.
 CACHE_FAULT_KINDS = ("truncate", "bitflip", "delete", "stale_meta")
 
+#: Fault kinds targeting fleet sessions (see :mod:`repro.fleet`):
+#: ``session_kill`` drops a session's in-memory runtime (it must resume
+#: from its store checkpoint), ``store_corrupt`` corrupts the session's
+#: latest stored snapshot, ``slow_consumer`` makes the session stop
+#: draining its ingest queue for ``hang_s`` fleet ticks.
+FLEET_FAULT_KINDS = ("session_kill", "store_corrupt", "slow_consumer")
+
 #: ``times`` value meaning "fire on every attempt, forever".
 ALWAYS = -1
 
@@ -62,6 +69,10 @@ class FaultSpec:
     ``fnmatch`` pattern against the written file's name for cache faults.
     ``times`` bounds how many attempts (task faults) or writes (cache
     faults) the spec affects; :data:`ALWAYS` never stops firing.
+
+    For fleet faults ``match`` is an ``fnmatch`` pattern against the
+    session id and ``index`` is the earliest fleet tick the spec may fire
+    at (``None`` = any tick); ``times`` bounds firings per spec as usual.
     """
 
     kind: str
@@ -77,10 +88,15 @@ class FaultSpec:
         elif self.kind in CACHE_FAULT_KINDS:
             if self.match is None:
                 raise ValueError(f"{self.kind!r} fault needs a file match pattern")
+        elif self.kind in FLEET_FAULT_KINDS:
+            if self.match is None:
+                raise ValueError(
+                    f"{self.kind!r} fault needs a session-id match pattern"
+                )
         else:
             raise ValueError(
                 f"unknown fault kind {self.kind!r}; choose from "
-                f"{TASK_FAULT_KINDS + CACHE_FAULT_KINDS}"
+                f"{TASK_FAULT_KINDS + CACHE_FAULT_KINDS + FLEET_FAULT_KINDS}"
             )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -153,6 +169,10 @@ class FaultPlan:
     def has_cache_faults(self) -> bool:
         return any(s.kind in CACHE_FAULT_KINDS for s in self.specs)
 
+    @property
+    def has_fleet_faults(self) -> bool:
+        return any(s.kind in FLEET_FAULT_KINDS for s in self.specs)
+
     # -- (de)serialization -------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
@@ -220,6 +240,7 @@ class ChaosInjector:
     def __init__(self, plan: FaultPlan) -> None:
         self.plan = plan
         self._cache_fired: Dict[int, int] = {}
+        self._fleet_fired: Dict[int, int] = {}
 
     @classmethod
     def from_env(cls) -> Optional["ChaosInjector"]:
@@ -255,6 +276,33 @@ class ChaosInjector:
             self._cache_fired[i] = fired + 1
             self._corrupt(path, spec)
             return
+
+    # -- fleet hook --------------------------------------------------------------
+
+    @property
+    def wants_fleet_faults(self) -> bool:
+        return self.plan.has_fleet_faults
+
+    def fleet_fault(self, session_id: str, tick: int) -> Optional[FaultSpec]:
+        """The unspent fleet fault matching ``session_id`` at ``tick``.
+
+        Deterministic: specs are consulted in plan order, the first
+        eligible one fires (its in-process counter advances), so the same
+        plan against the same session schedule injects the same faults.
+        """
+        for i, spec in enumerate(self.plan.specs):
+            if spec.kind not in FLEET_FAULT_KINDS:
+                continue
+            if not fnmatch.fnmatch(session_id, spec.match):
+                continue
+            if spec.index is not None and tick < spec.index:
+                continue
+            fired = self._fleet_fired.get(i, 0)
+            if spec.times != ALWAYS and fired >= spec.times:
+                continue
+            self._fleet_fired[i] = fired + 1
+            return spec
+        return None
 
     @staticmethod
     def _corrupt(path: Path, spec: FaultSpec) -> None:

@@ -1,0 +1,23 @@
+"""Fleet-layer fixtures: a ``repro.fleet``-style module carries the
+RPR002 determinism contract (checkpoints and decision chains are pinned
+byte-for-byte) and the RPR004 pool-safety contract."""
+
+import os
+import time
+
+from repro.experiments.parallel import run_tasks
+
+
+def checkpoint_meta(session_id):
+    return {"session": session_id, "at": time.time()}  # wall clock in a checkpoint
+
+
+def resolve_queue_depth():
+    return int(os.environ.get("REPRO_FLEET_QUEUE_DEPTH", "64"))  # raw env read
+
+
+def drain_sessions(sessions):
+    def drain(session):  # nested worker: unpicklable across the pool
+        return session
+
+    return run_tasks(drain, sessions)

@@ -33,6 +33,7 @@ FIXTURE_CONFIG = dataclasses.replace(
     deterministic_packages=(
         "tests.analysis_fixtures.badpkg.jittery",
         "tests.analysis_fixtures.badpkg.batch",
+        "tests.analysis_fixtures.badpkg.fleetops",
         "tests.analysis_fixtures.goodpkg",
     ),
     constants_scope=(
@@ -111,6 +112,20 @@ def test_batch_fixture_carries_rpr002_and_rpr004():
     assert rule_lines(result.findings) == [
         ("RPR002", 10),  # global RNG inside the batch kernel
         ("RPR004", 17),  # nested worker submitted to the pool
+    ]
+
+
+@pytest.mark.fleet
+def test_fleet_fixture_carries_rpr002_and_rpr004():
+    """A fleet-layer module inside the deterministic scope fires both
+    rule families — session checkpoints and decision chains are pinned
+    bytes, so wall clocks, raw env reads, and unpicklable pool workers
+    are all contract violations there."""
+    result = run_fixture("badpkg/fleetops.py")
+    assert rule_lines(result.findings) == [
+        ("RPR002", 12),  # time.time() stamped into a checkpoint
+        ("RPR002", 16),  # raw os.environ read outside repro.envcfg
+        ("RPR004", 23),  # nested worker submitted to the pool
     ]
 
 
@@ -367,6 +382,10 @@ def test_batch_modules_are_in_the_deterministic_scope():
         "repro.core.dynamic_model",
         "repro.core.estimator",
         "repro.core.detector",
+        "repro.fleet",
+        "repro.fleet.supervisor",
+        "repro.fleet.store",
+        "repro.fleet.session",
     ):
         assert module_matches(module, DEFAULT_CONFIG.deterministic_packages), (
             f"{module} must stay under RPR002's deterministic scope"

@@ -23,6 +23,7 @@ import pytest
 from repro.core import (
     AnomalyDetector,
     BatchedAnomalyDetector,
+    BatchedNextStateEstimator,
     BatchedStateEstimate,
     DetectorGuard,
     FusionRule,
@@ -360,6 +361,128 @@ class TestPerLaneAlarmBookkeeping:
         assert batched.alerts[0] == scalars[0].alerts > 0
         assert batched.alerts[1] == scalars[1].alerts == 0
         assert list(batched.evaluations) == [3, 3]
+
+
+class TestLaneRemoval:
+    """Ejecting a lane must not shift the surviving lanes' state.
+
+    The fleet supervisor quarantines faulted sessions by removing their
+    lane from the batched pack mid-run; the regression pinned here is the
+    bookkeeping one: after ``remove_lanes``, every surviving lane's
+    GuardStats-feeding counters, debouncer ring slots and estimator state
+    bytes must be exactly what a never-batched-with-the-ejected-lane run
+    produces.
+    """
+
+    @staticmethod
+    def hot_estimate(scales: np.ndarray) -> BatchedStateEstimate:
+        """Per-lane estimates: scale 0 is quiet, large scales alarm."""
+        scales = np.asarray(scales, dtype=float)
+        return BatchedStateEstimate(
+            motor_velocity=np.tile(scales[:, None], 3),
+            motor_acceleration=np.tile(10 * scales[:, None], 3),
+            joint_velocity=np.tile(scales[:, None], 3),
+            jpos_next=np.zeros((len(scales), 3)),
+            jvel_next=np.zeros((len(scales), 3)),
+            elapsed_s=0.0,
+        )
+
+    def test_detector_removal_preserves_survivor_state(self):
+        thresholds = SafetyThresholds(
+            motor_velocity=np.array([1.0, 1.0, 1.0]),
+            motor_acceleration=np.array([10.0, 10.0, 10.0]),
+            joint_velocity=np.array([1.0, 1.0, 1.0]),
+        )
+
+        def build(num):
+            return BatchedAnomalyDetector.from_detectors(
+                [
+                    AnomalyDetector(thresholds, FusionRule.ANY, decision_window=(2, 3))
+                    for _ in range(num)
+                ]
+            )
+
+        # Three lanes with distinct alarm phases, so any slot shift on
+        # removal would change a survivor's 2-of-3 decision.
+        full = build(3)
+        schedule = [(50.0, 0.0, 50.0), (0.0, 50.0, 50.0), (50.0, 0.0, 0.0)]
+        for scales in schedule:
+            full.evaluate(self.hot_estimate(np.array(scales)))
+
+        survivors = full.remove_lanes([1])
+        assert survivors == [0, 2]
+        assert full.num_lanes == 2
+
+        # Control: lanes 0 and 2 alone, fed their own columns only.
+        control = build(2)
+        for scales in schedule:
+            control.evaluate(self.hot_estimate(np.array([scales[0], scales[2]])))
+
+        assert list(full.evaluations) == list(control.evaluations)
+        assert list(full.alerts) == list(control.alerts)
+        for lane in range(2):
+            assert full.debouncer.lane_window(lane) == (
+                control.debouncer.lane_window(lane)
+            )
+        # Future decisions stay aligned too (ring positions survived).
+        tail = [(0.0, 50.0), (50.0, 50.0)]
+        for scales in tail:
+            r_full = full.evaluate(self.hot_estimate(np.array(scales)))
+            r_ctrl = control.evaluate(self.hot_estimate(np.array(scales)))
+            assert list(r_full.alert) == list(r_ctrl.alert)
+        assert list(full.alerts) == list(control.alerts)
+
+    def test_estimator_removal_preserves_survivor_bytes(self):
+        def build(errors):
+            return BatchedNextStateEstimator(
+                [
+                    RavenDynamicModel(integrator="euler", parameter_error=e)
+                    for e in errors
+                ]
+            )
+
+        full = build([1.0, 1.03, 1.05])
+        mpos = np.array(
+            [[0.001, 0.002, 0.003], [0.002, 0.001, 0.004], [0.003, 0.004, 0.001]]
+        )
+        dac = np.array([[150.0, -30.0, 12.0]] * 3)
+        full.sync(mpos)
+        full.sync(mpos + 0.0005)
+        full.estimate(dac)
+        full.coast(np.array([False, False, True]))  # stagger lane 2
+
+        survivors = full.remove_lanes([0])
+        assert survivors == [1, 2]
+
+        control = build([1.03, 1.05])
+        control.sync(mpos[1:])
+        control.sync(mpos[1:] + 0.0005)
+        control.estimate(dac[1:])
+        control.coast(np.array([False, True]))
+
+        assert full._jpos.tobytes() == control._jpos.tobytes()
+        assert full._jvel.tobytes() == control._jvel.tobytes()
+        assert list(full.coast_streak) == list(control.coast_streak)
+        for lane in range(2):
+            assert full.lane_state(lane) == control.lane_state(lane)
+        # And the survivors keep producing identical estimates.
+        nxt = np.array([[80.0, 40.0, -5.0]] * 2)
+        mask = np.array([True, False])  # lane 1 kept coasting
+        a = full.estimate(nxt, mask)
+        b = control.estimate(nxt, mask)
+        assert a.motor_velocity.tobytes() == b.motor_velocity.tobytes()
+        assert a.jpos_next.tobytes() == b.jpos_next.tobytes()
+
+    def test_removing_every_lane_is_rejected(self):
+        thresholds = detection_thresholds()
+        detector = BatchedAnomalyDetector([thresholds, thresholds])
+        with pytest.raises(ValueError):
+            detector.remove_lanes([0, 1])
+        estimator = BatchedNextStateEstimator(
+            [RavenDynamicModel(integrator="euler") for _ in range(2)]
+        )
+        with pytest.raises(ValueError):
+            estimator.remove_lanes([0, 1])
 
 
 class TestHarness:

@@ -9,7 +9,7 @@ class TestCli:
     def test_artifact_registry_complete(self):
         assert set(ARTIFACTS) == {
             "table1", "table2", "fig5", "fig6", "fig8", "table4", "fig9",
-            "robustness",
+            "robustness", "fleet",
         }
 
     def test_unknown_artifact_rejected(self, capsys):

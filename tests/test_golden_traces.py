@@ -183,3 +183,87 @@ class TestCampaignGoldens:
         resumed = get_campaign("B", TINY, cache_dir=interrupted_dir, jobs=1)
         assert campaign_fingerprint(resumed) == fingerprint
         golden.check("campaign_b_cached", campaign_fingerprint(resumed))
+
+
+# ---------------------------------------------------------------------------
+# Fleet goldens: SIGKILL a fleet worker mid-campaign, resume from the
+# session store, and the per-session fingerprints must equal the
+# uninterrupted run's pinned bytes.
+# ---------------------------------------------------------------------------
+
+_FLEET_SESSIONS = 3
+_FLEET_TICKS = 48
+_FLEET_SEED = 11
+_FLEET_KILL_TICK = 23
+
+
+def _fleet_config():
+    from repro.fleet import FleetConfig
+
+    return FleetConfig(checkpoint_every=8)
+
+
+def _fleet_worker(db_path: str) -> None:
+    """Child-process half of the crash test: dies mid-campaign, hard.
+
+    Module-level (not a closure) so it survives pickling under any
+    multiprocessing start method.
+    """
+    import os
+    import signal
+
+    from repro.experiments.fleet import run_fleet_campaign
+    from repro.fleet import SqliteSessionStore
+
+    def kill_self(tick, report):
+        if tick == _FLEET_KILL_TICK:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    run_fleet_campaign(
+        num_sessions=_FLEET_SESSIONS,
+        ticks=_FLEET_TICKS,
+        seed=_FLEET_SEED,
+        store=SqliteSessionStore(db_path),
+        config=_fleet_config(),
+        on_tick=kill_self,
+    )
+
+
+@pytest.mark.fleet
+class TestFleetGoldens:
+    """Fleet supervisor: uninterrupted, killed-and-resumed, both pinned."""
+
+    def _run(self, **kwargs):
+        from repro.experiments.fleet import run_fleet_campaign
+
+        return run_fleet_campaign(
+            num_sessions=_FLEET_SESSIONS,
+            ticks=_FLEET_TICKS,
+            seed=_FLEET_SEED,
+            config=_fleet_config(),
+            **kwargs,
+        )
+
+    def test_fleet_campaign_golden(self, golden):
+        golden.check("fleet_campaign", self._run().fingerprints)
+
+    def test_fleet_campaign_replay_is_bit_identical(self):
+        assert self._run().fingerprints == self._run().fingerprints
+
+    def test_sigkilled_worker_resumes_to_the_same_golden(self, golden, tmp_path):
+        import multiprocessing
+
+        from repro.fleet import SqliteSessionStore
+
+        db_path = str(tmp_path / "fleet.sqlite")
+        ctx = multiprocessing.get_context("spawn")
+        worker = ctx.Process(target=_fleet_worker, args=(db_path,))
+        worker.start()
+        worker.join(timeout=120)
+        assert worker.exitcode == -9, "worker should die by SIGKILL mid-campaign"
+
+        # The replacement worker resumes every session from its newest
+        # checkpoint, replays the lost frames, and finishes the campaign.
+        resumed = self._run(store=SqliteSessionStore(db_path), resume=True)
+        assert resumed.ticks_run < _FLEET_TICKS  # picked up mid-flight
+        golden.check("fleet_campaign", resumed.fingerprints)

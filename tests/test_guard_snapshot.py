@@ -1,0 +1,252 @@
+"""Exact state-equality tests for the snapshot()/restore() seams.
+
+The fleet session store (repro.fleet.store) persists guard state as JSON
+and must resume a killed session *bit-identically*.  These tests pin the
+contract at every layer: NextStateEstimator, AlarmDebouncer,
+AnomalyDetector, GuardStats, DetectorGuard, and GuardSupervisor — always
+through a real ``json.dumps``/``json.loads`` round trip, because that is
+what the store does (hex-encoded floats are what make this exact).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.control.state_machine import RobotState
+from repro.core.detector import AlarmDebouncer, AnomalyDetector
+from repro.core.estimator import NextStateEstimator
+from repro.core.mitigation import MitigationStrategy
+from repro.core.pipeline import (
+    DetectorGuard,
+    GuardHealth,
+    GuardStats,
+    GuardSupervisor,
+    SupervisorConfig,
+)
+from repro.dynamics.plant import RavenPlant
+from repro.hw.encoder import EncoderBank
+from repro.hw.motor_controller import MotorController
+from repro.hw.plc import Plc
+from repro.hw.usb_board import UsbBoard
+from repro.hw.usb_packet import decode_command_packet, encode_command_packet
+from repro.kinematics.workspace import Workspace
+
+pytestmark = pytest.mark.robustness
+
+PD = RobotState.PEDAL_DOWN
+
+
+def json_round_trip(payload):
+    """What the session store does to every snapshot."""
+    return json.loads(json.dumps(payload))
+
+
+def make_board():
+    plant = RavenPlant(initial_jpos=Workspace().neutral())
+    plant.release_brakes()
+    mc = MotorController(plant)
+    plc = Plc(plant, mc)
+    return UsbBoard(mc, plc, EncoderBank()), plc
+
+
+def packet(dac=(100, 0, 0)):
+    return decode_command_packet(encode_command_packet(PD, True, list(dac)))
+
+
+def estimator_state(est):
+    """Every mutable field, as raw bytes where float-valued."""
+    return (
+        None if est._jpos is None else est._jpos.tobytes(),
+        est._jvel.tobytes(),
+        None if est._predicted_jpos is None else est._predicted_jpos.tobytes(),
+        None if est._predicted_jvel is None else est._predicted_jvel.tobytes(),
+        est.coast_streak,
+    )
+
+
+class TestEstimatorSnapshot:
+    def test_round_trip_is_bit_exact(self):
+        est = NextStateEstimator()
+        est.sync([0.001, 0.002, 0.003])
+        est.sync([0.0017, 0.0021, 0.0028])
+        est.estimate([150, -30, 12])  # leaves a stored prediction
+        restored = NextStateEstimator()
+        restored.restore(json_round_trip(est.snapshot()))
+        assert estimator_state(restored) == estimator_state(est)
+        # The next estimate from each must be byte-identical too.
+        a = est.estimate([80, 40, -5])
+        b = restored.estimate([80, 40, -5])
+        assert a.jpos_next.tobytes() == b.jpos_next.tobytes()
+        assert a.motor_velocity.tobytes() == b.motor_velocity.tobytes()
+        assert a.motor_acceleration.tobytes() == b.motor_acceleration.tobytes()
+
+    def test_unsynced_round_trip(self):
+        est = NextStateEstimator()
+        restored = NextStateEstimator()
+        restored.sync([1.0, 1.0, 1.0])  # dirty, then restored over
+        restored.restore(json_round_trip(est.snapshot()))
+        assert not restored.synced
+        assert estimator_state(restored) == estimator_state(est)
+
+    def test_coasting_state_survives(self):
+        est = NextStateEstimator()
+        est.sync([0.001, 0.002, 0.003])
+        est.estimate([150, 0, 0])
+        est.coast()
+        restored = NextStateEstimator()
+        restored.restore(json_round_trip(est.snapshot()))
+        assert restored.coast_streak == 1
+        assert estimator_state(restored) == estimator_state(est)
+
+
+class TestDebouncerSnapshot:
+    def test_round_trip_preserves_window_and_decisions(self):
+        deb = AlarmDebouncer(2, 3)
+        for raw in (True, False, True):
+            deb.update(raw)
+        restored = AlarmDebouncer(2, 3)
+        restored.restore(json_round_trip(deb.snapshot()))
+        assert restored.window == deb.window
+        # Same future decisions: 2-of-3 over [F, T, x].
+        assert restored.update(True) == deb.update(True)
+        assert restored.update(False) == deb.update(False)
+
+    def test_restore_rejects_mismatched_shape(self):
+        deb = AlarmDebouncer(2, 3)
+        deb.update(True)
+        with pytest.raises(ValueError):
+            AlarmDebouncer(1, 3).restore(deb.snapshot())
+        with pytest.raises(ValueError):
+            AlarmDebouncer(2, 4).restore(deb.snapshot())
+
+
+class TestDetectorSnapshot:
+    def test_counters_and_window_round_trip(self, tight_thresholds):
+        det = AnomalyDetector(tight_thresholds, decision_window=(2, 3))
+        est = NextStateEstimator()
+        est.sync([0.0, 0.0, 0.0])
+        det.evaluate(est.estimate([20000, 0, 0]))
+        det.evaluate(est.estimate([20000, 0, 0]))
+        restored = AnomalyDetector(tight_thresholds, decision_window=(2, 3))
+        restored.restore(json_round_trip(det.snapshot()))
+        assert restored.evaluations == det.evaluations
+        assert restored.alerts == det.alerts
+        assert restored.debouncer.window == det.debouncer.window
+
+    def test_restore_rejects_window_presence_mismatch(self, tight_thresholds):
+        windowed = AnomalyDetector(tight_thresholds, decision_window=(2, 3))
+        plain = AnomalyDetector(tight_thresholds)
+        with pytest.raises(ValueError):
+            plain.restore(windowed.snapshot())
+        with pytest.raises(ValueError):
+            windowed.restore(plain.snapshot())
+
+
+class TestGuardStatsSnapshot:
+    def test_exact_equality_including_alert_events(self, tight_thresholds):
+        board, _plc = make_board()
+        guard = DetectorGuard(
+            estimator=NextStateEstimator(),
+            detector=AnomalyDetector(tight_thresholds),
+            strategy=MitigationStrategy.BLOCK,
+        )
+        guard.attach(board)
+        for dac in ([100, 0, 0], [20000, 0, 0], [20000, 0, 0]):
+            board.fd_write(encode_command_packet(PD, True, dac))
+        guard.stats.record_health(3, GuardHealth.COASTING)
+        restored = GuardStats.from_snapshot(json_round_trip(guard.stats.snapshot()))
+        # Dataclass equality is deep: AlertEvent -> DetectionResult margins
+        # must come back float-for-float identical.
+        assert restored == guard.stats
+        assert restored.alert_events[0].result.margins == (
+            guard.stats.alert_events[0].result.margins
+        )
+
+
+class TestSupervisorSnapshot:
+    CONFIG = SupervisorConfig(max_coast_cycles=4, estop_on_stale=False)
+
+    def make_supervised(self, thresholds):
+        board, plc = make_board()
+        supervisor = GuardSupervisor(
+            DetectorGuard(
+                estimator=NextStateEstimator(),
+                detector=AnomalyDetector(thresholds, decision_window=(2, 3)),
+                strategy=MitigationStrategy.BLOCK,
+            ),
+            self.CONFIG,
+        )
+        supervisor.attach(board)
+        return supervisor
+
+    @staticmethod
+    def drive(supervisor, stream):
+        for cycle, mpos in stream:
+            supervisor.tick_cycle(cycle)
+            supervisor.process(packet(), mpos)
+
+    def test_mid_run_round_trip_then_identical_futures(self, loose_thresholds):
+        """Snapshot mid-run (coasting, with a live prediction), restore into
+        a fresh supervisor, feed both the same tail: every subsequent
+        snapshot must be byte-identical."""
+        prefix = [
+            (1, np.array([0.001, 0.002, 0.003])),
+            (2, np.array([0.0012, 0.0021, 0.0031])),
+            (3, np.array([9.0, 0.0, 0.0])),  # implausible jump -> coast
+            (4, None),  # missing measurement -> coast
+        ]
+        tail = [
+            (5, np.array([0.0013, 0.0022, 0.0032])),  # recovers to NOMINAL
+            (6, np.array([np.nan, 0.0, 0.0])),  # rejected, coasts again
+            (7, np.array([0.0014, 0.0022, 0.0033])),
+        ]
+        original = self.make_supervised(loose_thresholds)
+        self.drive(original, prefix)
+        assert original.health is GuardHealth.COASTING
+        assert original.stats.implausible_measurements == 1
+        assert original.stats.coasted_cycles == 2
+
+        checkpoint = json_round_trip(original.snapshot())
+        resumed = self.make_supervised(loose_thresholds)
+        resumed.restore(checkpoint)
+        assert json_round_trip(resumed.snapshot()) == checkpoint
+
+        self.drive(original, tail)
+        self.drive(resumed, tail)
+        assert json.dumps(resumed.snapshot(), sort_keys=True) == json.dumps(
+            original.snapshot(), sort_keys=True
+        )
+        assert resumed.health is original.health
+
+    def test_restore_rejects_version_mismatch(self, loose_thresholds):
+        supervisor = self.make_supervised(loose_thresholds)
+        snap = supervisor.snapshot()
+        snap["version"] = supervisor.SNAPSHOT_VERSION + 1
+        with pytest.raises(ValueError, match="version"):
+            supervisor.restore(snap)
+
+    def test_restore_rejects_config_mismatch(self, loose_thresholds):
+        supervisor = self.make_supervised(loose_thresholds)
+        snap = supervisor.snapshot()
+        other = GuardSupervisor(
+            DetectorGuard(
+                estimator=NextStateEstimator(),
+                detector=AnomalyDetector(
+                    loose_thresholds, decision_window=(2, 3)
+                ),
+            ),
+            SupervisorConfig(max_coast_cycles=99),
+        )
+        with pytest.raises(ValueError, match="config"):
+            other.restore(snap)
+
+    def test_restore_clears_forensic_stash(self, loose_thresholds):
+        supervisor = self.make_supervised(loose_thresholds)
+        self.drive(supervisor, [(1, np.array([0.001, 0.002, 0.003]))])
+        assert supervisor.last_dac is not None
+        snap = supervisor.snapshot()
+        supervisor.restore(snap)
+        assert supervisor.last_dac is None
+        assert supervisor.last_evaluation is None
+        assert not supervisor.last_blocked
