@@ -20,9 +20,34 @@ the paper's safety argument depends on but ordinary linters cannot see:
     Pool safety: workers submitted to ``ParallelCampaignRunner`` must be
     picklable by construction (module-level callables).
 
+On top of the per-file tier, the whole-program layer
+(:mod:`repro.analysis.graph`) stitches every file's summary into a
+project graph — symbol table, class hierarchy, call edges, per-function
+CFG dominance — still without importing analyzed code, and runs the
+interprocedural families:
+
+``RPR005``
+    Safety-path dominance: every statically resolvable call path from a
+    telemetry/packet ingest entry point to a DAC sink passes the
+    detector gate, and sinks inside gate functions sit below the gate
+    in the CFG.
+``RPR006``
+    State-lifecycle completeness: classes exposing snapshot/restore/
+    reset cover every mutable ``__init__`` attribute (fleet resume
+    bit-identity depends on it).
+``RPR007``
+    Scalar/batched API parity: each ``Batched*`` class mirrors its
+    scalar counterpart's public surface and shared constants.
+``RPR008``
+    Quarantine discipline: lane-path exceptions re-raise or reach a
+    quarantine boundary; integrity errors are never swallowed broadly.
+
 Run it with ``python -m repro.analysis [--check] [paths...]``; waive a
 single line with ``# repro: allow[RPR00x]``; grandfather accepted debt
-with ``--baseline-update``.
+with ``--baseline-update``.  Warm runs reuse per-file summaries cached
+under ``.cache/analysis`` (keyed by content sha + config fingerprint);
+``--diff`` narrows reporting to changed files and their reverse
+importers.
 """
 
 from __future__ import annotations
@@ -35,19 +60,37 @@ from repro.analysis.engine import (
     AnalysisResult,
 )
 from repro.analysis.findings import Finding
-from repro.analysis.rules import ALL_RULES, RULES_BY_ID, rules_for
+from repro.analysis.graph import (
+    ControlFlowGraph,
+    ProjectGraph,
+    SummaryCache,
+    build_summary,
+)
+from repro.analysis.rules import (
+    ALL_PROJECT_RULES,
+    ALL_RULES,
+    RULES_BY_ID,
+    project_rules_for,
+    rules_for,
+)
 
 __all__ = [
+    "ALL_PROJECT_RULES",
     "ALL_RULES",
     "AnalysisConfig",
     "AnalysisEngine",
     "AnalysisResult",
+    "ControlFlowGraph",
     "DEFAULT_CONFIG",
     "Finding",
     "PARSE_ERROR_RULE",
+    "ProjectGraph",
     "RULES_BY_ID",
+    "SummaryCache",
+    "build_summary",
     "load_baseline",
     "partition",
+    "project_rules_for",
     "rules_for",
     "save_baseline",
 ]

@@ -9,9 +9,10 @@ report can be browsed without failing a shell pipeline.
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 from repro.analysis.baseline import (
     BaselineError,
@@ -21,9 +22,11 @@ from repro.analysis.baseline import (
 )
 from repro.analysis.engine import AnalysisEngine
 from repro.analysis.report import render_json, render_text
-from repro.analysis.rules import ALL_RULES
+from repro.analysis.rules import ALL_PROJECT_RULES, ALL_RULES
+from repro.analysis.sarif import render_sarif
 
 DEFAULT_BASELINE = "analysis_baseline.json"
+DEFAULT_CACHE_DIR = ".cache/analysis"
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -32,7 +35,10 @@ def _build_parser() -> argparse.ArgumentParser:
         description=(
             "Domain-invariant static analysis for the repro tree: guard "
             "bypass/TOCTOU (RPR001), determinism (RPR002), magic safety "
-            "numbers (RPR003), and pool picklability (RPR004)."
+            "numbers (RPR003), pool picklability (RPR004), and the "
+            "whole-program families: safety-path dominance (RPR005), "
+            "lifecycle completeness (RPR006), scalar/batched parity "
+            "(RPR007), quarantine discipline (RPR008)."
         ),
     )
     parser.add_argument(
@@ -52,6 +58,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help="emit the machine-readable report instead of text",
     )
     parser.add_argument(
+        "--sarif",
+        metavar="PATH",
+        help="additionally write the gating findings as SARIF 2.1.0",
+    )
+    parser.add_argument(
+        "--diff",
+        metavar="REV_OR_PATH",
+        action="append",
+        help=(
+            "restrict reported findings to changed files and their "
+            "reverse dependencies; each value is a changed file path or "
+            "a git revision to diff the worktree against (repeatable)"
+        ),
+    )
+    parser.add_argument(
         "--baseline",
         default=DEFAULT_BASELINE,
         help=f"baseline file to match against (default: {DEFAULT_BASELINE})",
@@ -60,6 +81,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "--baseline-update",
         action="store_true",
         help="rewrite the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=(
+            "per-file summary cache directory "
+            f"(default: {DEFAULT_CACHE_DIR})"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="parse everything fresh; do not read or write the cache",
     )
     parser.add_argument(
         "--list-rules",
@@ -71,8 +105,44 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _list_rules() -> str:
     return "\n".join(
-        f"{rule.rule_id}  {rule.summary}" for rule in ALL_RULES
+        f"{rule.rule_id}  {rule.summary}"
+        for rule in list(ALL_RULES) + list(ALL_PROJECT_RULES)
     )
+
+
+def _git_changed_files(rev: str) -> Optional[List[str]]:
+    """Paths changed against ``rev`` per git, or None when git fails."""
+    try:
+        proc = subprocess.run(
+            ["git", "diff", "--name-only", rev, "--", "*.py"],
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+    except OSError:
+        return None
+    if proc.returncode != 0:
+        return None
+    return [line for line in proc.stdout.splitlines() if line.strip()]
+
+
+def _resolve_diff_spec(specs: List[str]) -> Optional[List[str]]:
+    """Changed files named by ``--diff`` values (paths or git revisions)."""
+    changed: List[str] = []
+    for spec in specs:
+        if Path(spec).exists():
+            changed.append(spec)
+            continue
+        from_git = _git_changed_files(spec)
+        if from_git is None:
+            print(
+                f"error: --diff {spec!r} is neither a file nor a "
+                "resolvable git revision",
+                file=sys.stderr,
+            )
+            return None
+        changed.extend(from_git)
+    return changed
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -90,8 +160,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         return 2
 
-    engine = AnalysisEngine()
-    result = engine.analyze_paths(args.paths)
+    diff: Optional[List[str]] = None
+    if args.diff:
+        diff = _resolve_diff_spec(args.diff)
+        if diff is None:
+            return 2
+
+    cache_dir: Optional[Union[str, Path]] = (
+        None if args.no_cache else args.cache_dir
+    )
+    engine = AnalysisEngine(cache_dir=cache_dir)
+    result = engine.analyze_paths(args.paths, diff=diff)
 
     if args.baseline_update:
         save_baseline(args.baseline, result.findings)
@@ -113,6 +192,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     new, grandfathered = partition(result.findings, baseline)
     # Parse errors always gate: nothing in the file was checked.
     new = sorted(new + result.parse_errors, key=lambda f: f.sort_key)
+
+    if args.sarif:
+        Path(args.sarif).write_text(render_sarif(new), encoding="utf-8")
 
     if args.json:
         print(render_json(result, new, grandfathered))

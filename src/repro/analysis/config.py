@@ -88,10 +88,123 @@ class AnalysisConfig:
     #: Structurally innocuous floats (identities and halves).
     allowed_float_literals: Tuple[float, ...] = (-1.0, 0.0, 0.5, 1.0, 1.5, 2.0)
 
+    # -- RPR005: safety-path dominance (whole-program) --------------------------
+    #: Qualified names (``module.Class.method`` / ``module.func``) where
+    #: packet/telemetry data enters the system.  Every call-graph path
+    #: from one of these to a DAC sink must pass a detector gate.
+    ingest_entry_points: Tuple[str, ...] = (
+        "repro.fleet.supervisor.FleetSupervisor.ingest",
+        "repro.fleet.supervisor.FleetSupervisor.tick",
+        "repro.hw.usb_board.UsbBoard.fd_write",
+    )
+    #: Qualified names of functions that *are* the detector gate.  A
+    #: function whose body calls through a ``guard_call_names`` attribute
+    #: also counts as a gate site without being listed here.
+    safety_gate_functions: Tuple[str, ...] = (
+        "repro.core.pipeline.DetectorGuard.__call__",
+        "repro.core.pipeline.DetectorGuard.process",
+        "repro.core.pipeline.GuardSupervisor.__call__",
+        "repro.core.pipeline.GuardSupervisor.process",
+    )
+
+    # -- RPR006: state-lifecycle completeness -----------------------------------
+    #: Modules/packages whose classes must keep ``reset``/``snapshot``/
+    #: ``restore`` coverage of every mutable ``__init__`` attribute.
+    lifecycle_scope: Tuple[str, ...] = ("repro.core", "repro.fleet")
+    #: Method-name families recognized as the lifecycle surface.
+    lifecycle_reset_methods: Tuple[str, ...] = ("reset", "reset_counters")
+    lifecycle_snapshot_methods: Tuple[str, ...] = (
+        "snapshot",
+        "snapshot_payload",
+        "lane_state",
+    )
+    lifecycle_restore_methods: Tuple[str, ...] = (
+        "restore",
+        "restore_payload",
+        "load_lane_state",
+    )
+    #: Attribute-name globs that are wiring, not state (telemetry handles,
+    #: board attachments, deferred batch sinks) — never required.
+    lifecycle_wiring_attrs: Tuple[str, ...] = ("_obs_*", "_board", "_batch_sink")
+
+    # -- RPR007: scalar/batched API parity ---------------------------------------
+    #: Modules/packages scanned for ``Batched*`` classes.
+    parity_scope: Tuple[str, ...] = (
+        "repro.core",
+        "repro.dynamics",
+        "repro.sim",
+        "repro.experiments",
+    )
+    #: ``Batched*`` classes whose scalar counterpart is not simply the
+    #: name with the prefix stripped.
+    parity_pairs: Tuple[Tuple[str, str], ...] = (
+        ("BatchedDynamicModel", "RavenDynamicModel"),
+        ("BatchedPlant", "RavenPlant"),
+    )
+    #: ``(scalar_method, batched_alternative)``: the scalar method is
+    #: mirrored when *any* of its alternatives exists on the batched
+    #: class.  ``lane`` covers per-lane view objects that expose the
+    #: scalar accessors wholesale.
+    parity_aliases: Tuple[Tuple[str, str], ...] = (
+        ("snapshot", "lane_state"),
+        ("snapshot", "lane"),
+        ("restore", "load_lane_state"),
+        ("window", "lane_window"),
+        ("jpos", "lane_jpos"),
+        ("jpos", "lane"),
+        ("jvel", "lane_jvel"),
+        ("jvel", "lane"),
+        ("currents", "lane"),
+        ("mpos", "lane"),
+        ("mvel", "lane"),
+        ("set_state", "lane"),
+    )
+    #: Scalar methods that are per-lane configuration/calibration/timing
+    #: seams, deliberately not mirrored by the batched kernels.
+    parity_exempt_methods: Tuple[str, ...] = (
+        "calibrate",
+        "thresholds",
+        "apply_parameter_drift",
+        "mean_predict_seconds",
+        "reset_timing",
+        "gravity_compensation",
+    )
+
+    # -- RPR008: exception-flow quarantine discipline ----------------------------
+    #: Modules/packages where lane-scoped exception handling must reach a
+    #: quarantine/retry boundary.
+    quarantine_scope: Tuple[str, ...] = (
+        "repro.fleet",
+        "repro.experiments.parallel",
+    )
+    #: Call-chain segments that count as routing a fault to quarantine.
+    quarantine_sink_names: Tuple[str, ...] = (
+        "quarantine",
+        "_quarantine",
+        "_escalate_stale",
+        "quarantine_file",
+        "faults",
+    )
+    #: Exception classes whose silent swallowing is forbidden (checked
+    #: together with their statically known superclasses).
+    integrity_error_names: Tuple[str, ...] = ("SnapshotIntegrityError",)
+    #: Modules sanctioned to catch-and-continue integrity errors (the
+    #: newest-verifiable-checkpoint fallback walk).
+    integrity_fallback_modules: Tuple[str, ...] = ("repro.fleet.store",)
+
     # -- engine -------------------------------------------------------------------
     #: Rule ids to run (others are registered but skipped).
     enabled_rules: Tuple[str, ...] = field(
-        default=("RPR001", "RPR002", "RPR003", "RPR004")
+        default=(
+            "RPR001",
+            "RPR002",
+            "RPR003",
+            "RPR004",
+            "RPR005",
+            "RPR006",
+            "RPR007",
+            "RPR008",
+        )
     )
 
 

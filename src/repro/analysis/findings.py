@@ -36,8 +36,27 @@ class Finding:
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
     @property
-    def sort_key(self) -> Tuple[str, int, int, str]:
-        return (self.path, self.line, self.col, self.rule_id)
+    def sort_key(self) -> Tuple[str, int, int, str, str]:
+        """Total order over findings so every report is byte-stable.
+
+        The message participates so two findings on the same line from
+        the same rule (e.g. two missing lifecycle methods) still sort
+        deterministically.
+        """
+        return (self.path, self.line, self.col, self.rule_id, self.message)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, JsonValue]) -> "Finding":
+        """Rebuild a finding serialized by :meth:`to_dict` (cache I/O)."""
+        return cls(
+            rule_id=str(data["rule"]),
+            path=str(data["path"]),
+            module=str(data["module"]),
+            line=int(data["line"]),
+            col=int(data["col"]),
+            message=str(data["message"]),
+            source=str(data.get("source", "")),
+        )
 
     def format(self) -> str:
         """``path:line:col: RPRxxx message`` — the human-readable line."""

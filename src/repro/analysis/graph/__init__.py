@@ -1,0 +1,36 @@
+"""Whole-program layer of the lint engine.
+
+Everything here is derived from per-file :mod:`ast` trees — the engine
+still never imports analyzed code.  The pipeline is:
+
+``summary``
+    Distills one parsed module into a JSON-serializable
+    :class:`ModuleSummary`: import aliases, per-function call chains and
+    exception handlers, per-class ``__init__`` attributes and attribute
+    types, and the within-function gate/sink dominance facts.
+``cfg``
+    Statement-granularity control-flow graphs with dominator sets,
+    consumed while the AST is in hand (dominance facts are baked into
+    the summary so cached passes never re-parse).
+``project``
+    Stitches all summaries into a project graph: symbol table, class
+    hierarchy, best-effort call-edge resolution through annotations and
+    constructor assignments, and the reverse import map ``--diff`` uses.
+``cache``
+    Content-sha keyed persistence of summaries + per-file findings, so a
+    warm full-tree pass skips parsing entirely.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.graph.cache import SummaryCache
+from repro.analysis.graph.cfg import ControlFlowGraph
+from repro.analysis.graph.project import ProjectGraph
+from repro.analysis.graph.summary import build_summary
+
+__all__ = [
+    "ControlFlowGraph",
+    "ProjectGraph",
+    "SummaryCache",
+    "build_summary",
+]

@@ -1,0 +1,123 @@
+"""Content-keyed persistence of per-file summaries and local findings.
+
+One JSON file per analyzed source file, named by a hash of its display
+path.  An entry is valid only when both the source sha **and** the
+config/schema fingerprint match — editing the file, changing the
+analysis configuration, or bumping the summary schema all invalidate it.
+
+Only *local* (single-file) rule findings are cached; project-rule
+findings depend on other files and are recomputed from summaries each
+run, which is the cheap part.  Cache I/O errors are swallowed: a broken
+or unwritable cache degrades to a cold pass, never a failed one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding
+from repro.analysis.graph.summary import SUMMARY_SCHEMA
+
+
+def config_fingerprint(config: AnalysisConfig) -> str:
+    """Hash of everything that invalidates cached analysis output."""
+    payload = f"{config!r}|schema={SUMMARY_SCHEMA}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def content_sha(text: str) -> str:
+    """Identity of one source file's content."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheEntry:
+    """One file's cached analysis output."""
+
+    summary: Dict[str, Any]
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+
+
+class SummaryCache:
+    """Directory of per-file cache entries (``root=None`` disables)."""
+
+    def __init__(self, root: Optional[Path]) -> None:
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.root is not None
+
+    def _entry_path(self, display_path: str) -> Path:
+        assert self.root is not None
+        digest = hashlib.sha256(display_path.encode("utf-8")).hexdigest()[:24]
+        return self.root / f"{digest}.json"
+
+    def load(
+        self, display_path: str, sha: str, fingerprint: str
+    ) -> Optional[CacheEntry]:
+        """Cached entry for ``display_path`` if content+config match."""
+        if self.root is None:
+            return None
+        try:
+            raw = self._entry_path(display_path).read_text(encoding="utf-8")
+            data = json.loads(raw)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if data.get("sha") != sha or data.get("fingerprint") != fingerprint:
+            self.misses += 1
+            return None
+        try:
+            entry = CacheEntry(
+                summary=data["summary"],
+                findings=[Finding.from_dict(f) for f in data["findings"]],
+                suppressed=[
+                    Finding.from_dict(f) for f in data["suppressed"]
+                ],
+            )
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def store(
+        self,
+        display_path: str,
+        sha: str,
+        fingerprint: str,
+        entry: CacheEntry,
+    ) -> None:
+        """Persist ``entry`` atomically; failures degrade to no cache."""
+        if self.root is None:
+            return
+        payload = {
+            "sha": sha,
+            "fingerprint": fingerprint,
+            "summary": entry.summary,
+            "findings": [f.to_dict() for f in entry.findings],
+            "suppressed": [f.to_dict() for f in entry.suppressed],
+        }
+        target = self._entry_path(display_path)
+        tmp = target.with_suffix(f".tmp{os.getpid()}")
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(
+                json.dumps(payload, sort_keys=True), encoding="utf-8"
+            )
+            os.replace(tmp, target)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass

@@ -1,0 +1,300 @@
+"""Statement-granularity control-flow graphs with dominators.
+
+Built per function while the AST is in hand; the only consumer question
+is *"is every DAC-sink call dominated by a detector-gate call?"*, so the
+graph is deliberately coarse: one node per basic block of statements, a
+call is located by its innermost enclosing statement, and exception
+edges are conservative (every statement in a ``try`` body may jump to
+every handler).  Conservative extra edges can only make dominance fail —
+the rule then reports a finding — never silently pass.
+
+Code after a terminating statement (return/raise/break/continue)
+continues in a fresh block with no predecessors; such blocks keep the
+full dominator set, so dead-code sinks are vacuously dominated and never
+reported.
+
+The graph never leaves the process: summaries persist only the verdicts
+derived from it (see :mod:`repro.analysis.graph.summary`).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.compat import TRY_STATEMENTS, statement_blocks
+
+#: Position of a call: (block index, statement index, line, col) —
+#: totally ordered within one block for the gate-before-sink check.
+CallSite = Tuple[int, int, int, int]
+
+
+@dataclass
+class Block:
+    """One basic block: statements that execute strictly in sequence."""
+
+    idx: int
+    stmts: List[ast.stmt] = field(default_factory=list)
+    succs: Set[int] = field(default_factory=set)
+
+
+class ControlFlowGraph:
+    """CFG over one function body, with dominator sets on demand."""
+
+    def __init__(self) -> None:
+        self.blocks: List[Block] = []
+        self.entry = 0
+        self._call_sites: Dict[int, CallSite] = {}
+        self._ordered_calls: List[ast.Call] = []
+        self._doms: Optional[List[Set[int]]] = None
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def build(cls, fn: ast.AST) -> "ControlFlowGraph":
+        """Graph of ``fn``'s body (a FunctionDef/AsyncFunctionDef)."""
+        cfg = cls()
+        entry = cfg._new_block()
+        body: Sequence[ast.stmt] = getattr(fn, "body", [])
+        cfg._build_body(list(body), entry, [], [])
+        cfg._index_calls()
+        return cfg
+
+    def _new_block(self) -> Block:
+        block = Block(len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def _edge(self, src: Block, dst: Block) -> None:
+        src.succs.add(dst.idx)
+
+    def _build_body(
+        self,
+        stmts: List[ast.stmt],
+        entry: Block,
+        loops: List[Tuple[Block, Block]],
+        handlers: List[Block],
+    ) -> Block:
+        """Wire ``stmts`` starting in ``entry``; return the fall-out block.
+
+        ``loops`` holds ``(header, exit)`` pairs for break/continue
+        targets; ``handlers`` are the exception-handler entry blocks any
+        statement in scope may jump to.
+        """
+        current = entry
+        for stmt in stmts:
+            if isinstance(stmt, ast.If):
+                current = self._build_if(stmt, current, loops, handlers)
+            elif isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+                current = self._build_loop(stmt, current, loops, handlers)
+            elif isinstance(stmt, TRY_STATEMENTS):
+                current = self._build_try(stmt, current, loops, handlers)
+            elif isinstance(stmt, (ast.Return, ast.Raise)):
+                self._append(current, stmt, handlers)
+                current = self._new_block()  # unreachable continuation
+            elif isinstance(stmt, (ast.Break, ast.Continue)):
+                self._append(current, stmt, handlers)
+                if loops:
+                    header, exit_block = loops[-1]
+                    target = exit_block if isinstance(stmt, ast.Break) else header
+                    self._edge(current, target)
+                current = self._new_block()  # unreachable continuation
+            elif any(True for _ in statement_blocks(stmt)):
+                # Generic compound fallback (with/match): branch into each
+                # nested block list and join afterwards.
+                current = self._build_generic(stmt, current, loops, handlers)
+            else:
+                self._append(current, stmt, handlers)
+        return current
+
+    def _append(self, block: Block, stmt: ast.stmt, handlers: List[Block]) -> None:
+        block.stmts.append(stmt)
+        for handler in handlers:
+            self._edge(block, handler)
+
+    def _build_if(
+        self,
+        stmt: ast.If,
+        current: Block,
+        loops: List[Tuple[Block, Block]],
+        handlers: List[Block],
+    ) -> Block:
+        # The If statement lives in the condition block, so calls in its
+        # test dominate both branches.
+        self._append(current, stmt, handlers)
+        then_entry = self._new_block()
+        self._edge(current, then_entry)
+        then_end = self._build_body(stmt.body, then_entry, loops, handlers)
+        if stmt.orelse:
+            else_entry = self._new_block()
+            self._edge(current, else_entry)
+            else_end = self._build_body(stmt.orelse, else_entry, loops, handlers)
+        else:
+            else_end = current
+        join = self._new_block()
+        self._edge(then_end, join)
+        self._edge(else_end, join)
+        return join
+
+    def _build_loop(
+        self,
+        stmt: ast.stmt,
+        current: Block,
+        loops: List[Tuple[Block, Block]],
+        handlers: List[Block],
+    ) -> Block:
+        header = self._new_block()
+        self._edge(current, header)
+        self._append(header, stmt, handlers)
+        exit_block = self._new_block()
+        self._edge(header, exit_block)
+        body_entry = self._new_block()
+        self._edge(header, body_entry)
+        body: List[ast.stmt] = getattr(stmt, "body", [])
+        body_end = self._build_body(
+            body, body_entry, loops + [(header, exit_block)], handlers
+        )
+        self._edge(body_end, header)
+        orelse: List[ast.stmt] = getattr(stmt, "orelse", [])
+        if orelse:
+            return self._build_body(orelse, exit_block, loops, handlers)
+        return exit_block
+
+    def _build_try(
+        self,
+        stmt: ast.stmt,
+        current: Block,
+        loops: List[Tuple[Block, Block]],
+        handlers: List[Block],
+    ) -> Block:
+        handler_list = list(getattr(stmt, "handlers", []))
+        handler_blocks = [self._new_block() for _ in handler_list]
+        for hb in handler_blocks:
+            self._edge(current, hb)
+        body_entry = self._new_block()
+        self._edge(current, body_entry)
+        body_end = self._build_body(
+            list(getattr(stmt, "body", [])),
+            body_entry,
+            loops,
+            handlers + handler_blocks,
+        )
+        orelse: List[ast.stmt] = list(getattr(stmt, "orelse", []))
+        if orelse:
+            body_end = self._build_body(orelse, body_end, loops, handlers)
+        join = self._new_block()
+        self._edge(body_end, join)
+        for hb, handler in zip(handler_blocks, handler_list):
+            h_end = self._build_body(list(handler.body), hb, loops, handlers)
+            self._edge(h_end, join)
+        finalbody: List[ast.stmt] = list(getattr(stmt, "finalbody", []))
+        if finalbody:
+            return self._build_body(finalbody, join, loops, handlers)
+        return join
+
+    def _build_generic(
+        self,
+        stmt: ast.stmt,
+        current: Block,
+        loops: List[Tuple[Block, Block]],
+        handlers: List[Block],
+    ) -> Block:
+        self._append(current, stmt, handlers)
+        join = self._new_block()
+        branched = False
+        for block_stmts in statement_blocks(stmt):
+            if not block_stmts:
+                continue
+            entry = self._new_block()
+            self._edge(current, entry)
+            end = self._build_body(list(block_stmts), entry, loops, handlers)
+            self._edge(end, join)
+            branched = True
+        if not branched:
+            self._edge(current, join)
+        return join
+
+    # -- call location ----------------------------------------------------------
+
+    def _index_calls(self) -> None:
+        """Map every call expression to its innermost statement's block.
+
+        Only a statement's *own* expressions are walked (conditions,
+        call arguments, assignment values) — nested statements map to
+        their own blocks, and nested function bodies belong to another
+        frame entirely.
+        """
+        for block in self.blocks:
+            for si, stmt in enumerate(block.stmts):
+                if isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    continue
+                for child in ast.iter_child_nodes(stmt):
+                    if not isinstance(child, ast.expr):
+                        continue
+                    for node in ast.walk(child):
+                        if isinstance(node, ast.Call):
+                            self._call_sites[id(node)] = (
+                                block.idx,
+                                si,
+                                getattr(node, "lineno", 0),
+                                getattr(node, "col_offset", 0),
+                            )
+                            self._ordered_calls.append(node)
+
+    def calls(self) -> List[ast.Call]:
+        """Every indexed call, in deterministic block/statement order."""
+        return list(self._ordered_calls)
+
+    def call_site(self, call: ast.Call) -> Optional[CallSite]:
+        """Location of ``call`` in the graph (None for nested frames)."""
+        return self._call_sites.get(id(call))
+
+    # -- dominance --------------------------------------------------------------
+
+    def dominators(self) -> List[Set[int]]:
+        """``doms[b]`` = set of blocks dominating block ``b``.
+
+        Iterative data-flow; blocks unreachable from the entry keep the
+        full set (vacuously dominated), which errs toward *not*
+        reporting on dead code.
+        """
+        if self._doms is not None:
+            return self._doms
+        n = len(self.blocks)
+        preds: List[Set[int]] = [set() for _ in range(n)]
+        for block in self.blocks:
+            for succ in block.succs:
+                preds[succ].add(block.idx)
+        everything = set(range(n))
+        doms: List[Set[int]] = [set(everything) for _ in range(n)]
+        doms[self.entry] = {self.entry}
+        changed = True
+        while changed:
+            changed = False
+            for b in range(n):
+                if b == self.entry:
+                    continue
+                inter = set(everything)
+                for p in preds[b]:
+                    inter &= doms[p]
+                new = {b} | inter
+                if new != doms[b]:
+                    doms[b] = new
+                    changed = True
+        self._doms = doms
+        return doms
+
+    def dominates(self, gate: CallSite, sink: CallSite) -> bool:
+        """Whether the ``gate`` call dominates (strictly precedes) ``sink``."""
+        gate_block, gate_stmt, gate_line, gate_col = gate
+        sink_block, sink_stmt, sink_line, sink_col = sink
+        if gate_block == sink_block:
+            return (gate_stmt, gate_line, gate_col) < (
+                sink_stmt,
+                sink_line,
+                sink_col,
+            )
+        return gate_block in self.dominators()[sink_block]

@@ -1,0 +1,351 @@
+"""Project graph: all module summaries stitched into one symbol space.
+
+Resolution here is deliberately *best-effort and conservative*: a call
+chain resolves to a callee only when the static evidence (import
+aliases, ``self`` attribute types from ``__init__``, parameter/return
+annotations, container element types) pins it down.  Unresolvable chains
+contribute no call edges, so interprocedural rules err toward silence on
+dynamic code rather than noise — the same bias the CFG layer uses.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.graph.summary import CALL_MARK, INDEX_MARK
+
+#: Wrapper annotations peeled before class lookup.
+_WRAPPERS = (
+    "Optional[",
+    "typing.Optional[",
+    "Final[",
+    "typing.Final[",
+    "ClassVar[",
+    "typing.ClassVar[",
+)
+
+#: Generic containers whose element type ``[]`` navigation extracts.
+_VALUE_CONTAINERS = {
+    "Dict",
+    "Mapping",
+    "MutableMapping",
+    "DefaultDict",
+    "OrderedDict",
+}
+_ITEM_CONTAINERS = {
+    "List",
+    "Sequence",
+    "MutableSequence",
+    "Set",
+    "FrozenSet",
+    "Iterable",
+    "Iterator",
+    "Deque",
+    "Tuple",
+}
+
+
+def strip_wrappers(text: str) -> str:
+    """Peel quotes and Optional/Final/ClassVar wrappers off ``text``."""
+    t = text.strip().strip("\"'").strip()
+    changed = True
+    while changed:
+        changed = False
+        for prefix in _WRAPPERS:
+            if t.startswith(prefix) and t.endswith("]"):
+                t = t[len(prefix) : -1].strip().strip("\"'").strip()
+                changed = True
+                break
+    return t
+
+
+def _split_top(text: str) -> List[str]:
+    """Split on commas at bracket depth zero."""
+    parts: List[str] = []
+    depth = 0
+    current = ""
+    for ch in text:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append(current)
+            current = ""
+        else:
+            current += ch
+    if current.strip():
+        parts.append(current)
+    return parts
+
+
+def element_type(text: str) -> Optional[str]:
+    """Element annotation a ``[]`` subscript navigates into, if known.
+
+    ``Dict[int, Lane]`` → ``Lane`` (the value side); ``List[Lane]`` →
+    ``Lane``.  Anything else — plain classes, unions, unparameterized
+    containers — is ``None``.
+    """
+    t = strip_wrappers(text)
+    if "[" not in t or not t.endswith("]"):
+        return None
+    idx = t.index("[")
+    outer = t[:idx].split(".")[-1]
+    parts = _split_top(t[idx + 1 : -1])
+    if not parts:
+        return None
+    if outer in _VALUE_CONTAINERS:
+        return parts[-1].strip()
+    if outer in _ITEM_CONTAINERS:
+        return parts[0].strip()
+    return None
+
+
+#: Resolution states: ("class", qualified) treats class and instance the
+#: same; ("text", annotation, module) defers parsing until a navigation
+#: step needs it; ("module", dotted) walks packages; ("func", key) is a
+#: resolved callable.
+_State = Tuple[str, str, str]
+
+
+class ProjectGraph:
+    """Symbol table + call/import resolution over all module summaries."""
+
+    def __init__(self, summaries: Dict[str, Dict[str, Any]]) -> None:
+        self.summaries: Dict[str, Dict[str, Any]] = dict(summaries)
+        self.modules: Set[str] = set(self.summaries)
+        self.classes: Dict[str, Dict[str, Any]] = {}
+        self.class_module: Dict[str, str] = {}
+        self.simple_classes: Dict[str, List[str]] = {}
+        self.functions: Dict[str, Dict[str, Any]] = {}
+        self.function_module: Dict[str, str] = {}
+        for mod in sorted(self.summaries):
+            summ = self.summaries[mod]
+            for cname in summ["classes"]:
+                qualified = f"{mod}.{cname}"
+                self.classes[qualified] = summ["classes"][cname]
+                self.class_module[qualified] = mod
+                self.simple_classes.setdefault(cname, []).append(qualified)
+            for fname in summ["functions"]:
+                key = f"{mod}.{fname}"
+                self.functions[key] = summ["functions"][fname]
+                self.function_module[key] = mod
+        self._ancestor_cache: Dict[str, List[str]] = {}
+        self._reverse_imports: Optional[Dict[str, Set[str]]] = None
+
+    # -- basic lookups ----------------------------------------------------------
+
+    def aliases(self, module: str) -> Dict[str, str]:
+        summ = self.summaries.get(module)
+        return summ["aliases"] if summ else {}
+
+    def path_for(self, module: str) -> Optional[str]:
+        summ = self.summaries.get(module)
+        return summ["path"] if summ else None
+
+    def suppressions_for(self, module: str) -> Dict[int, Set[str]]:
+        summ = self.summaries.get(module)
+        if not summ:
+            return {}
+        return {
+            int(line): set(rules)
+            for line, rules in summ["suppressions"].items()
+        }
+
+    # -- class hierarchy --------------------------------------------------------
+
+    def resolve_type(self, module: str, text: Optional[str]) -> Optional[str]:
+        """Qualified class named by annotation ``text`` in ``module``."""
+        if not text:
+            return None
+        t = strip_wrappers(text)
+        if not t or "[" in t:
+            return None
+        return self._lookup_class(module, t)
+
+    def _lookup_class(self, module: str, name: str) -> Optional[str]:
+        aliases = self.aliases(module)
+        if "." in name:
+            root, rest = name.split(".", 1)
+            target = aliases.get(root)
+            candidate = f"{target}.{rest}" if target else name
+        else:
+            if f"{module}.{name}" in self.classes:
+                return f"{module}.{name}"
+            candidate = aliases.get(name, "")
+            if not candidate:
+                return None
+        return candidate if candidate in self.classes else None
+
+    def ancestors(self, qualified: str) -> List[str]:
+        """``qualified`` followed by its statically known bases, BFS."""
+        cached = self._ancestor_cache.get(qualified)
+        if cached is not None:
+            return cached
+        out: List[str] = []
+        seen: Set[str] = set()
+        queue = [qualified]
+        while queue:
+            q = queue.pop(0)
+            if q in seen or q not in self.classes:
+                continue
+            seen.add(q)
+            out.append(q)
+            mod = self.class_module[q]
+            for base in self.classes[q]["bases"]:
+                resolved = self.resolve_type(mod, base)
+                if resolved:
+                    queue.append(resolved)
+        self._ancestor_cache[qualified] = out
+        return out
+
+    def method_key(self, qualified: str, name: str) -> Optional[str]:
+        """Function key implementing ``name`` on ``qualified`` (via MRO)."""
+        for q in self.ancestors(qualified):
+            mod = self.class_module[q]
+            cls = q[len(mod) + 1 :]
+            key = f"{mod}.{cls}.{name}"
+            if key in self.functions:
+                return key
+        return None
+
+    def all_method_names(self, qualified: str) -> Set[str]:
+        """Every method name on ``qualified`` including inherited ones."""
+        names: Set[str] = set()
+        for q in self.ancestors(qualified):
+            names.update(self.classes[q]["methods"])
+        return names
+
+    def attr_type_text(self, qualified: str, attr: str) -> Optional[str]:
+        """Annotation/constructor text of ``self.attr`` (via MRO)."""
+        for q in self.ancestors(qualified):
+            text = self.classes[q]["attr_types"].get(attr)
+            if text:
+                return text
+        return None
+
+    # -- call resolution --------------------------------------------------------
+
+    def resolve_call(
+        self, module: str, fn_qualname: str, chain: Sequence[str]
+    ) -> Optional[str]:
+        """Function key a call chain invokes, when statically resolvable.
+
+        ``fn_qualname`` is the caller (``"func"`` or ``"Cls.method"``) —
+        it supplies ``self`` and parameter types.  Returns ``None`` for
+        anything the summaries cannot pin down.
+        """
+        fn = self.functions.get(f"{module}.{fn_qualname}")
+        if fn is None or not chain:
+            return None
+        state = self._initial_state(module, fn, chain[0])
+        if state is None:
+            return None
+        for seg in chain[1:]:
+            state = self._advance(state, seg)
+            if state is None:
+                return None
+        return self._apply_call(state)
+
+    def _initial_state(
+        self, module: str, fn: Dict[str, Any], head: str
+    ) -> Optional[_State]:
+        if head == "self" and fn.get("cls"):
+            return ("class", f"{module}.{fn['cls']}", module)
+        params = fn.get("params", {})
+        if head in params:
+            ann = params[head]
+            return ("text", ann, module) if ann else None
+        if f"{module}.{head}" in self.classes:
+            return ("class", f"{module}.{head}", module)
+        if f"{module}.{head}" in self.functions:
+            return ("func", f"{module}.{head}", module)
+        target = self.aliases(module).get(head)
+        if target is None:
+            return None
+        if target in self.classes:
+            return ("class", target, self.class_module[target])
+        if target in self.functions:
+            return ("func", target, self.function_module[target])
+        return ("module", target, module)
+
+    def _advance(self, state: _State, seg: str) -> Optional[_State]:
+        kind, ref, mod = state
+        if seg == CALL_MARK:
+            if kind == "class":
+                return state  # constructing → an instance of the class
+            if kind == "func":
+                returns = self.functions[ref].get("returns")
+                return ("text", returns, mod) if returns else None
+            return None
+        if seg == INDEX_MARK:
+            if kind == "text":
+                elem = element_type(ref)
+                return ("text", elem, mod) if elem else None
+            return None
+        # plain attribute navigation
+        if kind == "text":
+            resolved = self.resolve_type(mod, ref)
+            if resolved is None:
+                return None
+            state = ("class", resolved, self.class_module[resolved])
+            kind, ref, mod = state
+        if kind == "class":
+            method = self.method_key(ref, seg)
+            if method:
+                return ("func", method, self.function_module[method])
+            attr_text = self.attr_type_text(ref, seg)
+            if attr_text:
+                return ("text", attr_text, self.class_module[ref])
+            return None
+        if kind == "module":
+            dotted = f"{ref}.{seg}"
+            if dotted in self.classes:
+                return ("class", dotted, self.class_module[dotted])
+            if dotted in self.functions:
+                return ("func", dotted, self.function_module[dotted])
+            if dotted in self.modules:
+                return ("module", dotted, mod)
+            return None
+        return None
+
+    def _apply_call(self, state: _State) -> Optional[str]:
+        kind, ref, mod = state
+        if kind == "func":
+            return ref
+        if kind == "text":
+            resolved = self.resolve_type(mod, ref)
+            if resolved is None:
+                return None
+            state = ("class", resolved, self.class_module[resolved])
+            kind, ref, mod = state
+        if kind == "class":
+            return self.method_key(ref, "__call__") or self.method_key(
+                ref, "__init__"
+            )
+        return None
+
+    # -- reverse imports (--diff scope) -----------------------------------------
+
+    def _reverse_import_map(self) -> Dict[str, Set[str]]:
+        if self._reverse_imports is None:
+            reverse: Dict[str, Set[str]] = {m: set() for m in self.modules}
+            for mod in self.modules:
+                for target in self.summaries[mod].get("imports", []):
+                    if target in self.modules and target != mod:
+                        reverse[target].add(mod)
+            self._reverse_imports = reverse
+        return self._reverse_imports
+
+    def importers_of(self, seeds: Set[str]) -> Set[str]:
+        """``seeds`` plus every module transitively importing one of them."""
+        reverse = self._reverse_import_map()
+        out = {m for m in seeds if m in self.modules}
+        queue = list(out)
+        while queue:
+            mod = queue.pop()
+            for importer in reverse.get(mod, ()):
+                if importer not in out:
+                    out.add(importer)
+                    queue.append(importer)
+        return out

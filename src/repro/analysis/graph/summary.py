@@ -1,0 +1,416 @@
+"""Per-module summaries: the JSON-serializable slice the project graph needs.
+
+A summary distills one parsed file into plain dicts/lists/strings so it
+can round-trip through the on-disk cache: import targets and aliases,
+per-function call chains / exception handlers / self-attribute reads,
+per-class ``__init__`` attributes, annotations and class constants, and
+the within-function gate→sink dominance verdicts (computed here, while
+the AST and its :class:`~repro.analysis.graph.cfg.ControlFlowGraph` are
+in hand, so cached passes never re-parse).
+
+Everything positional carries ``line``/``col``/``source`` so project
+rules can anchor findings without re-reading the file.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePath
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.analysis.compat import TRY_STATEMENTS, flatten_statements
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.graph.cfg import CallSite, ControlFlowGraph
+from repro.analysis.rules.base import ImportMap
+from repro.analysis.source import ModuleSource
+
+#: Bump when the summary layout changes; part of the cache fingerprint.
+SUMMARY_SCHEMA = 1
+
+#: Chain segment markers for links that are not plain attribute access.
+CALL_MARK = "()"
+INDEX_MARK = "[]"
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def expr_chain(node: ast.expr) -> Optional[List[str]]:
+    """Access chain of ``node`` with call/index markers, or ``None``.
+
+    ``self.lanes[i].guard.evaluate`` → ``["self", "lanes", "[]",
+    "guard", "evaluate"]``; ``store().save`` → ``["store", "()",
+    "save"]``.  Chains not rooted in a bare name (literals, comprehension
+    results) yield ``None``.
+    """
+    parts: List[str] = []
+    current: ast.expr = node
+    while True:
+        if isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        elif isinstance(current, ast.Subscript):
+            parts.append(INDEX_MARK)
+            current = current.value
+        elif isinstance(current, ast.Call):
+            parts.append(CALL_MARK)
+            current = current.func
+        elif isinstance(current, ast.Name):
+            parts.append(current.id)
+            parts.reverse()
+            return parts
+        else:
+            return None
+
+
+def _unparse(node: Optional[ast.expr]) -> Optional[str]:
+    if node is None:
+        return None
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - malformed synthetic nodes
+        return None
+
+
+def _self_reads(fn: ast.AST) -> List[str]:
+    """Names of every ``self.X`` access anywhere under ``fn``."""
+    reads = set()
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            reads.add(node.attr)
+    return sorted(reads)
+
+
+def _identifier_strings(fn: ast.AST) -> List[str]:
+    """Identifier-shaped string literals under ``fn`` (payload keys)."""
+    strings = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            if node.value.isidentifier():
+                strings.add(node.value)
+    return sorted(strings)
+
+
+def _handler_types(handler: ast.ExceptHandler) -> Tuple[bool, List[str]]:
+    """(bare?, chain-joined type names) for one ``except`` clause."""
+    if handler.type is None:
+        return True, []
+    exprs: List[ast.expr]
+    if isinstance(handler.type, ast.Tuple):
+        exprs = list(handler.type.elts)
+    else:
+        exprs = [handler.type]
+    names: List[str] = []
+    for expr in exprs:
+        chain = expr_chain(expr)
+        if chain:
+            names.append(".".join(chain))
+    return False, names
+
+
+def _frame_calls(stmts: List[ast.stmt]) -> List[List[str]]:
+    """Call chains in ``stmts`` and nested blocks, this frame only."""
+    chains: List[List[str]] = []
+    for stmt in flatten_statements(stmts):
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        for child in ast.iter_child_nodes(stmt):
+            if not isinstance(child, ast.expr):
+                continue
+            for node in ast.walk(child):
+                if isinstance(node, ast.Call):
+                    chain = expr_chain(node.func)
+                    if chain:
+                        chains.append(chain)
+    return chains
+
+
+def _handlers(
+    fn: FunctionNode, module: ModuleSource
+) -> List[Dict[str, Any]]:
+    out: List[Dict[str, Any]] = []
+    for stmt in flatten_statements(fn.body):
+        if not isinstance(stmt, TRY_STATEMENTS):
+            continue
+        for handler in stmt.handlers:  # type: ignore[attr-defined]
+            bare, types = _handler_types(handler)
+            has_raise = any(
+                isinstance(inner, ast.Raise)
+                for inner in flatten_statements(handler.body)
+            )
+            out.append(
+                {
+                    "bare": bare,
+                    "types": types,
+                    "line": handler.lineno,
+                    "col": handler.col_offset,
+                    "source": module.line_text(handler.lineno),
+                    "has_raise": has_raise,
+                    "chains": _frame_calls(handler.body),
+                }
+            )
+    return out
+
+
+def _function_summary(
+    fn: FunctionNode,
+    cls: Optional[str],
+    module: ModuleSource,
+    config: AnalysisConfig,
+) -> Dict[str, Any]:
+    cfg = ControlFlowGraph.build(fn)
+    calls: List[Dict[str, Any]] = []
+    gate_sites: List[CallSite] = []
+    sinks: List[Tuple[Dict[str, Any], CallSite]] = []
+    guard_call = False
+    for call in cfg.calls():
+        chain = expr_chain(call.func)
+        if not chain:
+            continue
+        site = cfg.call_site(call)
+        entry = {
+            "chain": chain,
+            "line": call.lineno,
+            "col": call.col_offset,
+            "source": module.line_text(call.lineno),
+        }
+        calls.append(entry)
+        if site is None:  # pragma: no cover - every cfg call has a site
+            continue
+        if any(seg in config.guard_call_names for seg in chain):
+            guard_call = True
+            gate_sites.append(site)
+        if chain[-1] in config.dac_sink_attrs:
+            sinks.append((entry, site))
+    sink_calls: List[Dict[str, Any]] = []
+    for entry, site in sinks:
+        dominated = any(cfg.dominates(gate, site) for gate in gate_sites)
+        sink_calls.append(
+            {
+                "attr": entry["chain"][-1],
+                "line": entry["line"],
+                "col": entry["col"],
+                "source": entry["source"],
+                "dominated": dominated,
+            }
+        )
+    params: Dict[str, Optional[str]] = {}
+    arg_nodes = (
+        list(fn.args.posonlyargs)
+        + list(fn.args.args)
+        + list(fn.args.kwonlyargs)
+    )
+    for arg in arg_nodes:
+        params[arg.arg] = _unparse(arg.annotation)
+    return {
+        "cls": cls,
+        "line": fn.lineno,
+        "params": params,
+        "returns": _unparse(fn.returns),
+        "calls": calls,
+        "reads": _self_reads(fn),
+        "strings": _identifier_strings(fn),
+        "handlers": _handlers(fn, module),
+        "guard_call": guard_call,
+        "sink_calls": sink_calls,
+    }
+
+
+def _is_derived(value: Optional[ast.expr], params: List[str]) -> bool:
+    """Whether an ``__init__`` assignment derives from config/other state.
+
+    Attributes copied or computed from constructor parameters (or other
+    ``self`` attributes) are configuration, not mutable runtime state —
+    the lifecycle rule does not require them in ``snapshot``/``reset``.
+    Literal initializers (counters, empty buffers, ``None`` slots) are
+    the mutable state the rule tracks.
+    """
+    if value is None:
+        return True
+    for node in ast.walk(value):
+        if isinstance(node, ast.Name) and node.id in params:
+            return True
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return True
+    return False
+
+
+def _constant_text(value: Optional[ast.expr]) -> Optional[str]:
+    """Canonical text of a literal class constant (``None`` if dynamic)."""
+    if value is None:
+        return None
+    try:
+        return repr(ast.literal_eval(value))
+    except (ValueError, SyntaxError):
+        return None
+
+
+def _init_attrs(
+    init: FunctionNode, module: ModuleSource
+) -> Tuple[List[Dict[str, Any]], Dict[str, str]]:
+    params = [a.arg for a in init.args.args if a.arg != "self"]
+    params += [a.arg for a in init.args.posonlyargs]
+    params += [a.arg for a in init.args.kwonlyargs]
+    param_types = {
+        a.arg: _unparse(a.annotation)
+        for a in init.args.args + init.args.kwonlyargs
+        if a.annotation is not None
+    }
+    attrs: List[Dict[str, Any]] = []
+    attr_types: Dict[str, str] = {}
+    seen = set()
+
+    def record(target: ast.expr, value: Optional[ast.expr], ann: Optional[ast.expr]) -> None:
+        if not (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            return
+        name = target.attr
+        if name not in seen:
+            seen.add(name)
+            attrs.append(
+                {
+                    "name": name,
+                    "line": target.lineno,
+                    "col": target.col_offset,
+                    "source": module.line_text(target.lineno),
+                    "derived": _is_derived(value, params),
+                }
+            )
+        if name not in attr_types:
+            ann_text = _unparse(ann)
+            if ann_text:
+                attr_types[name] = ann_text
+            elif isinstance(value, ast.Call):
+                chain = expr_chain(value.func)
+                if chain and INDEX_MARK not in chain and CALL_MARK not in chain:
+                    attr_types[name] = ".".join(chain)
+            elif isinstance(value, ast.Name) and value.id in param_types:
+                ann_text = param_types[value.id]
+                if ann_text:
+                    attr_types[name] = ann_text
+
+    for stmt in flatten_statements(init.body):
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                record(target, stmt.value, None)
+        elif isinstance(stmt, ast.AnnAssign):
+            record(stmt.target, stmt.value, stmt.annotation)
+        elif isinstance(stmt, ast.AugAssign):
+            record(stmt.target, stmt.value, None)
+    return attrs, attr_types
+
+
+def _class_summary(
+    node: ast.ClassDef, module: ModuleSource, config: AnalysisConfig
+) -> Dict[str, Any]:
+    bases: List[str] = []
+    for base in node.bases:
+        chain = expr_chain(base)
+        if chain:
+            bases.append(".".join(chain))
+    methods: Dict[str, int] = {}
+    constants: Dict[str, str] = {}
+    init: Optional[FunctionNode] = None
+    for item in node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            methods[item.name] = item.lineno
+            if item.name == "__init__":
+                init = item
+        elif isinstance(item, ast.Assign):
+            for target in item.targets:
+                if isinstance(target, ast.Name) and target.id.isupper():
+                    text = _constant_text(item.value)
+                    if text is not None:
+                        constants[target.id] = text
+        elif isinstance(item, ast.AnnAssign):
+            if isinstance(item.target, ast.Name) and item.target.id.isupper():
+                text = _constant_text(item.value)
+                if text is not None:
+                    constants[item.target.id] = text
+    attrs: List[Dict[str, Any]] = []
+    attr_types: Dict[str, str] = {}
+    if init is not None:
+        attrs, attr_types = _init_attrs(init, module)
+    return {
+        "line": node.lineno,
+        "col": node.col_offset,
+        "source": module.line_text(node.lineno),
+        "bases": bases,
+        "methods": methods,
+        "constants": constants,
+        "attrs": attrs,
+        "attr_types": attr_types,
+    }
+
+
+def _collect_imports(module: ModuleSource) -> List[str]:
+    """Dotted module targets this file imports (for the reverse-dep map).
+
+    ``from pkg import name`` contributes both ``pkg`` and ``pkg.name``
+    (the engine cannot tell a submodule from an attribute without
+    importing, so the project graph matches against known modules).
+    """
+    package = module.module.rsplit(".", 1)[0] if "." in module.module else ""
+    targets = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                targets.add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                prefix_parts = package.split(".") if package else []
+                cut = node.level - 1
+                if cut:
+                    prefix_parts = (
+                        prefix_parts[:-cut] if cut <= len(prefix_parts) else []
+                    )
+                prefix = ".".join(prefix_parts)
+                base = f"{prefix}.{base}".strip(".") if base else prefix
+            if base:
+                targets.add(base)
+            for alias in node.names:
+                if alias.name != "*" and base:
+                    targets.add(f"{base}.{alias.name}")
+    return sorted(targets)
+
+
+def build_summary(module: ModuleSource, config: AnalysisConfig) -> Dict[str, Any]:
+    """Distill ``module`` into the cacheable whole-program slice."""
+    imap = ImportMap(module)
+    functions: Dict[str, Any] = {}
+    classes: Dict[str, Any] = {}
+    for node in module.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            functions[node.name] = _function_summary(node, None, module, config)
+        elif isinstance(node, ast.ClassDef):
+            classes[node.name] = _class_summary(node, module, config)
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qualname = f"{node.name}.{item.name}"
+                    functions[qualname] = _function_summary(
+                        item, node.name, module, config
+                    )
+    return {
+        "schema": SUMMARY_SCHEMA,
+        "module": module.module,
+        "path": PurePath(module.display_path).as_posix(),
+        "imports": _collect_imports(module),
+        "aliases": dict(sorted(imap.aliases.items())),
+        "suppressions": {
+            str(line): sorted(rules)
+            for line, rules in sorted(module.suppressions.items())
+        },
+        "functions": functions,
+        "classes": classes,
+    }

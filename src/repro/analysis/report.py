@@ -51,4 +51,6 @@ def render_json(
             finding.to_dict() for finding in result.parse_errors
         ],
     }
+    if result.scope is not None:
+        payload["scope"] = list(result.scope)
     return json.dumps(payload, indent=1, sort_keys=True)

@@ -4,11 +4,14 @@ from __future__ import annotations
 
 import abc
 import ast
-from typing import ClassVar, Dict, Iterator, List, Optional, Set
+from typing import TYPE_CHECKING, ClassVar, Dict, Iterator, List, Optional, Set
 
 from repro.analysis.config import AnalysisConfig
 from repro.analysis.findings import Finding
 from repro.analysis.source import ModuleSource
+
+if TYPE_CHECKING:  # imported lazily to avoid a base→graph→base cycle
+    from repro.analysis.graph.project import ProjectGraph
 
 
 class Rule(abc.ABC):
@@ -37,6 +40,45 @@ class Rule(abc.ABC):
             col=col,
             message=message,
             source=module.line_text(lineno),
+        )
+
+
+class ProjectRule(abc.ABC):
+    """One whole-program rule family (RPR005..RPR008).
+
+    Project rules run after every file has a summary; they see the
+    stitched :class:`~repro.analysis.graph.project.ProjectGraph` instead
+    of a single module, and anchor findings with the line/col/source
+    text embedded in the summaries (so cached passes need no re-read).
+    """
+
+    rule_id: ClassVar[str]
+    summary: ClassVar[str]
+
+    @abc.abstractmethod
+    def check_project(
+        self, graph: "ProjectGraph", config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        """Yield every violation of this rule across the project."""
+
+    def finding_at(
+        self,
+        graph: "ProjectGraph",
+        module: str,
+        line: int,
+        col: int,
+        source: str,
+        message: str,
+    ) -> Finding:
+        """Build a finding anchored at a summary-recorded location."""
+        return Finding(
+            rule_id=self.rule_id,
+            path=graph.path_for(module) or module,
+            module=module,
+            line=line,
+            col=col,
+            message=message,
+            source=source,
         )
 
 

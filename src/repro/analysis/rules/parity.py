@@ -1,0 +1,115 @@
+"""RPR007 — scalar/batched API-parity drift.
+
+PR 6's batched kernels carry a bit-equality contract with their scalar
+counterparts; the contract quietly rots when a scalar class grows a
+public method or changes a shared constant and the ``Batched*`` mirror
+does not follow.  This rule pins the surface statically:
+
+- every public method of the scalar class must exist on the batched
+  class — either under the same name, or under a configured per-lane
+  alias (``snapshot`` → ``lane_state``, accessors → a ``lane`` view);
+- ALL_CAPS literal constants defined on *both* classes must hold
+  identical values.
+
+``Batched*`` classes that subclass their scalar counterpart inherit the
+surface and are skipped, as are ones with no scalar counterpart at all
+(batch-only kernels).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Set
+
+from repro.analysis.config import AnalysisConfig, module_matches
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import ProjectRule
+
+if TYPE_CHECKING:
+    from repro.analysis.graph.project import ProjectGraph
+
+_PREFIX = "Batched"
+
+
+class ParityRule(ProjectRule):
+    rule_id = "RPR007"
+    summary = "Batched* classes must mirror their scalar counterpart's API"
+
+    def check_project(
+        self, graph: "ProjectGraph", config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        pairs = dict(config.parity_pairs)
+        aliases: Dict[str, Set[str]] = {}
+        for scalar_method, alternative in config.parity_aliases:
+            aliases.setdefault(scalar_method, set()).add(alternative)
+        for qualified in sorted(graph.classes):
+            module = graph.class_module[qualified]
+            if not module_matches(module, config.parity_scope):
+                continue
+            simple = qualified[len(module) + 1 :]
+            if not simple.startswith(_PREFIX) or simple == _PREFIX:
+                continue
+            scalar_simple = pairs.get(simple, simple[len(_PREFIX) :])
+            scalar = self._scalar_counterpart(graph, qualified, scalar_simple)
+            if scalar is None:
+                continue
+            yield from self._check_pair(
+                graph, config, aliases, qualified, scalar, module
+            )
+
+    def _scalar_counterpart(
+        self, graph: "ProjectGraph", batched: str, scalar_simple: str
+    ) -> Optional[str]:
+        candidates = graph.simple_classes.get(scalar_simple)
+        if not candidates:
+            return None
+        scalar = sorted(candidates)[0]
+        # Subclassing the scalar inherits the whole surface — nothing to
+        # mirror (e.g. a Batched runner extending the scalar runner).
+        if scalar in graph.ancestors(batched)[1:]:
+            return None
+        return scalar
+
+    def _check_pair(
+        self,
+        graph: "ProjectGraph",
+        config: AnalysisConfig,
+        aliases: Dict[str, Set[str]],
+        batched: str,
+        scalar: str,
+        module: str,
+    ) -> Iterator[Finding]:
+        info = graph.classes[batched]
+        batched_methods = graph.all_method_names(batched)
+        scalar_methods = graph.all_method_names(scalar)
+        exempt = set(config.parity_exempt_methods)
+        for method in sorted(scalar_methods):
+            if method.startswith("_") or method in exempt:
+                continue
+            if method in batched_methods:
+                continue
+            alternatives = aliases.get(method, set())
+            if alternatives & batched_methods:
+                continue
+            wanted = "/".join(sorted({method} | alternatives))
+            yield self.finding_at(
+                graph,
+                module,
+                info["line"],
+                info["col"],
+                info["source"],
+                f"{batched} lacks a counterpart for scalar method "
+                f"'{scalar}.{method}' (expected one of: {wanted})",
+            )
+        scalar_constants = graph.classes[scalar]["constants"]
+        for name in sorted(set(info["constants"]) & set(scalar_constants)):
+            if info["constants"][name] != scalar_constants[name]:
+                yield self.finding_at(
+                    graph,
+                    module,
+                    info["line"],
+                    info["col"],
+                    info["source"],
+                    f"constant '{name}' drifted between {batched} "
+                    f"({info['constants'][name]}) and {scalar} "
+                    f"({scalar_constants[name]})",
+                )

@@ -1,0 +1,116 @@
+"""RPR008 — exception-flow quarantine discipline on the lane path.
+
+The fleet's fail-operational contract: one session's fault must never
+silently vanish (it must reach a quarantine/retry boundary) and
+checkpoint-integrity errors must never be swallowed by a broad handler
+(a corrupted snapshot that restores anyway is a paper-grade safety
+hole).  Concretely, inside the configured scope every ``except`` that is
+
+- **broad** — bare, ``Exception``, or ``BaseException`` — or
+- **integrity-relevant** — catches a configured integrity error or any
+  statically known superclass of one
+
+must either re-``raise`` or route the fault through a quarantine sink
+(a call whose chain contains a configured sink segment, e.g.
+``self._quarantine(...)`` or ``faults.append(...)``).
+
+Handlers whose exception type cannot be resolved statically (class
+attributes, computed tuples) are skipped, and the sanctioned
+newest-verifiable-checkpoint fallback modules are exempt.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Set
+
+from repro.analysis.config import AnalysisConfig, module_matches
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import ProjectRule
+
+if TYPE_CHECKING:
+    from repro.analysis.graph.project import ProjectGraph
+
+#: Handler type names that catch everything.
+_BROAD = {"Exception", "BaseException"}
+
+
+class QuarantineRule(ProjectRule):
+    rule_id = "RPR008"
+    summary = "lane-path exceptions must re-raise or reach quarantine"
+
+    def check_project(
+        self, graph: "ProjectGraph", config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        integrity_catchers = self._integrity_catchers(graph, config)
+        for key in sorted(graph.functions):
+            module = graph.function_module[key]
+            if not module_matches(module, config.quarantine_scope):
+                continue
+            if module_matches(module, config.integrity_fallback_modules):
+                continue
+            for handler in graph.functions[key]["handlers"]:
+                yield from self._check_handler(
+                    graph, config, integrity_catchers, module, key, handler
+                )
+
+    def _integrity_catchers(
+        self, graph: "ProjectGraph", config: AnalysisConfig
+    ) -> Set[str]:
+        """Qualified classes that statically catch an integrity error.
+
+        The integrity classes themselves plus every ancestor: catching
+        ``FleetError`` catches ``SnapshotIntegrityError`` too.
+        """
+        catchers: Set[str] = set()
+        for name in config.integrity_error_names:
+            for qualified in graph.simple_classes.get(name, []):
+                catchers.update(graph.ancestors(qualified))
+        return catchers
+
+    def _check_handler(
+        self,
+        graph: "ProjectGraph",
+        config: AnalysisConfig,
+        integrity_catchers: Set[str],
+        module: str,
+        fn_key: str,
+        handler: Dict[str, Any],
+    ) -> Iterator[Finding]:
+        broad = handler["bare"]
+        integrity: List[str] = []
+        for type_name in handler["types"]:
+            simple = type_name.rsplit(".", 1)[-1]
+            if simple in _BROAD:
+                broad = True
+                continue
+            resolved = graph.resolve_type(module, type_name)
+            if resolved is not None:
+                if resolved in integrity_catchers:
+                    integrity.append(simple)
+            elif simple in config.integrity_error_names:
+                integrity.append(simple)
+        if not broad and not integrity:
+            return
+        if handler["has_raise"] or self._quarantines(handler, config):
+            return
+        if integrity:
+            caught = "/".join(sorted(set(integrity)))
+            detail = f"swallows integrity error '{caught}'"
+        else:
+            detail = "swallows lane-path exceptions"
+        yield self.finding_at(
+            graph,
+            module,
+            handler["line"],
+            handler["col"],
+            handler["source"],
+            f"except clause in {fn_key} {detail} without re-raise "
+            "or quarantine",
+        )
+
+    @staticmethod
+    def _quarantines(handler: Dict[str, Any], config: AnalysisConfig) -> bool:
+        for chain in handler["chains"]:
+            if any(seg in config.quarantine_sink_names for seg in chain):
+                return True
+        return False

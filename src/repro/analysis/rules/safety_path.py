@@ -1,0 +1,114 @@
+"""RPR005 — safety-path dominance across the call graph.
+
+The whole-program counterpart of RPR001's local bypass check: every
+statically resolvable call path from a packet/telemetry ingest entry
+point to a DAC sink must pass through the detector gate.  Two checks:
+
+1. **Gated functions** — a function that *contains* the gate (a call
+   through a ``guard`` attribute, or one of the configured
+   ``safety_gate_functions``) may call sinks, but every sink site must
+   be dominated by a gate call in that function's CFG (verdicts are
+   precomputed in the summaries).
+2. **Ungated reachability** — walking the call graph from each ingest
+   entry point and *stopping* at gate functions (past the gate the path
+   is safe), no reachable function may call a DAC sink.  The finding
+   anchors at the sink call and spells out the offending path.
+
+Unresolvable call chains contribute no edges, so the rule is silent on
+dynamic dispatch it cannot prove — the same conservative bias as RPR001.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterator, List, Set, Tuple
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import ProjectRule
+
+if TYPE_CHECKING:
+    from repro.analysis.graph.project import ProjectGraph
+
+
+class SafetyPathRule(ProjectRule):
+    rule_id = "RPR005"
+    summary = "ingest-to-DAC call paths must be dominated by the detector gate"
+
+    def check_project(
+        self, graph: "ProjectGraph", config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        gates = self._gate_functions(graph, config)
+
+        # Check 1: sinks inside gate functions must sit below the gate.
+        for key in sorted(gates):
+            fn = graph.functions[key]
+            for sink in fn["sink_calls"]:
+                if not sink["dominated"]:
+                    module = graph.function_module[key]
+                    yield self.finding_at(
+                        graph,
+                        module,
+                        sink["line"],
+                        sink["col"],
+                        sink["source"],
+                        f"DAC sink '{sink['attr']}' in {key} is not "
+                        "dominated by the detector gate call",
+                    )
+
+        # Check 2: no sink reachable from an ingest entry without a gate.
+        reached = self._reach_ungated(graph, config, gates)
+        seen_sites: Set[Tuple[str, int, int]] = set()
+        for key in sorted(reached):
+            fn = graph.functions[key]
+            module = graph.function_module[key]
+            path = " -> ".join(reached[key])
+            for sink in fn["sink_calls"]:
+                site = (module, sink["line"], sink["col"])
+                if site in seen_sites:
+                    continue
+                seen_sites.add(site)
+                yield self.finding_at(
+                    graph,
+                    module,
+                    sink["line"],
+                    sink["col"],
+                    sink["source"],
+                    f"DAC sink '{sink['attr']}' reachable from ingest "
+                    f"without a detector gate (path: {path})",
+                )
+
+    def _gate_functions(
+        self, graph: "ProjectGraph", config: AnalysisConfig
+    ) -> Set[str]:
+        gates = set()
+        for key, fn in graph.functions.items():
+            if fn["guard_call"] or key in config.safety_gate_functions:
+                gates.add(key)
+        return gates
+
+    def _reach_ungated(
+        self, graph: "ProjectGraph", config: AnalysisConfig, gates: Set[str]
+    ) -> Dict[str, List[str]]:
+        """Function key → shortest ungated call path from an entry point.
+
+        BFS from every configured entry; gate functions terminate the
+        walk (their sinks are handled by the dominance check).
+        """
+        reached: Dict[str, List[str]] = {}
+        queue: List[Tuple[str, List[str]]] = []
+        for entry in config.ingest_entry_points:
+            if entry in graph.functions and entry not in gates:
+                if entry not in reached:
+                    reached[entry] = [entry]
+                    queue.append((entry, [entry]))
+        while queue:
+            key, path = queue.pop(0)
+            module = graph.function_module[key]
+            qualname = key[len(module) + 1 :]
+            for call in graph.functions[key]["calls"]:
+                callee = graph.resolve_call(module, qualname, call["chain"])
+                if callee is None or callee in gates or callee in reached:
+                    continue
+                reached[callee] = path + [callee]
+                queue.append((callee, path + [callee]))
+        return reached

@@ -1,0 +1,78 @@
+"""SARIF 2.1.0 rendering of an analysis run (CI code-scanning upload).
+
+Minimal but valid: one run, one driver, the rule catalog restricted to
+rules that actually fired, results carrying the same line-free
+fingerprint the baseline uses so code-scanning dedup survives moves.
+Output is byte-stable (sorted keys, findings already in sort order).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import RULES_BY_ID
+
+_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: RPR000 has no rule class; synthesized here.
+_PARSE_ERROR_SUMMARY = "file does not parse; nothing in it was checked"
+
+
+def _rule_catalog(findings: List[Finding]) -> List[Dict[str, Any]]:
+    used = sorted({f.rule_id for f in findings})
+    catalog: List[Dict[str, Any]] = []
+    for rule_id in used:
+        rule_cls = RULES_BY_ID.get(rule_id)
+        summary = (
+            rule_cls.summary if rule_cls is not None else _PARSE_ERROR_SUMMARY
+        )
+        catalog.append(
+            {
+                "id": rule_id,
+                "shortDescription": {"text": summary},
+            }
+        )
+    return catalog
+
+
+def render_sarif(findings: List[Finding]) -> str:
+    """SARIF document for ``findings`` (the run's gating set)."""
+    results: List[Dict[str, Any]] = []
+    for f in sorted(findings, key=lambda f: f.sort_key):
+        results.append(
+            {
+                "ruleId": f.rule_id,
+                "level": "error",
+                "message": {"text": f.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": f.path},
+                            "region": {
+                                "startLine": f.line,
+                                "startColumn": f.col + 1,
+                            },
+                        }
+                    }
+                ],
+                "partialFingerprints": {"reproAnalysis/v1": f.fingerprint},
+            }
+        )
+    document = {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analysis",
+                        "rules": _rule_catalog(findings),
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=1, sort_keys=True)

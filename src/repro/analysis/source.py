@@ -35,6 +35,19 @@ def module_name_for_path(path: Path) -> str:
     return ".".join(parts)
 
 
+def display_path_for(path: Path, display_root: Optional[Path]) -> str:
+    """Reported path: relative to ``display_root`` when possible, always
+    with forward-slash separators so reports and baselines are
+    byte-identical across platforms."""
+    display = path
+    if display_root is not None:
+        try:
+            display = path.resolve().relative_to(display_root.resolve())
+        except ValueError:
+            display = path
+    return display.as_posix()
+
+
 def collect_py_files(paths: List[Path]) -> List[Path]:
     """Every ``.py`` file under ``paths``, deduplicated, sorted."""
     seen: Dict[Path, None] = {}
@@ -65,17 +78,18 @@ class ModuleSource:
     def load(cls, path: Path, display_root: Optional[Path] = None) -> "ModuleSource":
         """Parse ``path``; raises ``SyntaxError``/``OSError`` to the engine."""
         text = path.read_text(encoding="utf-8")
+        return cls.from_source(path, text, display_root=display_root)
+
+    @classmethod
+    def from_source(
+        cls, path: Path, text: str, display_root: Optional[Path] = None
+    ) -> "ModuleSource":
+        """Parse already-read ``text`` (the engine reads once for caching)."""
         tree = ast.parse(text, filename=str(path))
         lines = text.splitlines()
-        display = str(path)
-        if display_root is not None:
-            try:
-                display = str(path.resolve().relative_to(display_root.resolve()))
-            except ValueError:
-                display = str(path)
         return cls(
             path=path,
-            display_path=display,
+            display_path=display_path_for(path, display_root),
             module=module_name_for_path(path),
             lines=lines,
             tree=tree,

@@ -326,6 +326,46 @@ class BatchedAlarmDebouncer:
             ordered = np.concatenate([self._ring[lane, pos:], self._ring[lane, :pos]])
         return tuple(bool(v) for v in ordered)
 
+    # -- durable state (session checkpoints, see repro.fleet) ----------------------
+
+    def lane_state(self, lane: int) -> Dict[str, Any]:
+        """One lane's window as a scalar :meth:`AlarmDebouncer.snapshot`.
+
+        The payload round-trips with the scalar class in both
+        directions: a lane extracted here restores into a scalar
+        debouncer and vice versa.
+        """
+        return {
+            "m": self.m,
+            "n": self.n,
+            "window": [bool(v) for v in self.lane_window(lane)],
+        }
+
+    def load_lane_state(self, lane: int, state: Dict[str, Any]) -> None:
+        """Load one lane from a scalar snapshot payload (exact inverse).
+
+        Raises
+        ------
+        ValueError
+            When the stored window shape differs from this debouncer's
+            configuration, mirroring :meth:`AlarmDebouncer.restore`.
+        """
+        if int(state["m"]) != self.m or int(state["n"]) != self.n:
+            raise ValueError(
+                f"decision-window mismatch: snapshot ({state['m']}, "
+                f"{state['n']}) vs configured ({self.m}, {self.n})"
+            )
+        window = [int(bool(v)) for v in state["window"]][-self.n :]
+        count = len(window)
+        # Lay the window down oldest-first from slot 0; the next write
+        # position and fill count then reproduce deque(maxlen=n)
+        # append/evict behaviour exactly (see lane_window()).
+        self._ring[lane, :] = 0
+        self._ring[lane, :count] = window
+        self._sums[lane] = sum(window)
+        self._pos[lane] = count % self.n
+        self._filled[lane] = count
+
     def remove_lanes(self, lanes: Sequence[int]) -> List[int]:
         """Eject ``lanes``; surviving rows keep their ring slots verbatim.
 
@@ -478,6 +518,41 @@ class BatchedAnomalyDetector:
         self.alerts[:] = 0
         if self.debouncer is not None:
             self.debouncer.reset()
+
+    # -- durable state (session checkpoints, see repro.fleet) ----------------------
+
+    def lane_state(self, lane: int) -> Dict[str, Any]:
+        """One lane's counters + window as a scalar
+        :meth:`AnomalyDetector.snapshot` payload."""
+        return {
+            "evaluations": int(self.evaluations[lane]),
+            "alerts": int(self.alerts[lane]),
+            "debouncer": (
+                None
+                if self.debouncer is None
+                else self.debouncer.lane_state(lane)
+            ),
+        }
+
+    def load_lane_state(self, lane: int, state: Dict[str, Any]) -> None:
+        """Load one lane from a scalar snapshot payload (exact inverse).
+
+        Raises
+        ------
+        ValueError
+            On decision-window presence mismatch, mirroring
+            :meth:`AnomalyDetector.restore`.
+        """
+        window = state.get("debouncer")
+        if (window is None) != (self.debouncer is None):
+            raise ValueError(
+                "decision-window presence mismatch between snapshot and "
+                "configured detector"
+            )
+        self.evaluations[lane] = int(state["evaluations"])
+        self.alerts[lane] = int(state["alerts"])
+        if self.debouncer is not None:
+            self.debouncer.load_lane_state(lane, window)
 
     def remove_lanes(self, lanes: Sequence[int]) -> List[int]:
         """Eject ``lanes`` without disturbing the surviving lanes.

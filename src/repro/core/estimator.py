@@ -354,6 +354,21 @@ class BatchedNextStateEstimator:
         """Lane joint-velocity estimate."""
         return self._jvel[lane].copy()
 
+    def reset(self) -> None:
+        """Forget every lane's state (e.g. across E-STOP).
+
+        Mirrors :meth:`NextStateEstimator.reset` per lane: unsynced
+        lanes hold zeros internally, so zeroing everything and clearing
+        the flags is byte-identical to N scalar resets.
+        """
+        self._jpos[:] = 0.0
+        self._jvel[:] = 0.0
+        self._synced[:] = False
+        self._predicted_jpos[:] = 0.0
+        self._predicted_jvel[:] = 0.0
+        self._has_prediction[:] = False
+        self.coast_streak[:] = 0
+
     # -- per-lane durable state (session checkpoints, see repro.fleet) -------------
 
     def lane_state(self, lane: int) -> Dict[str, Any]:

@@ -327,7 +327,7 @@ def iter_tasks(
                             f"{label}: worker pool died; continuing serially"
                         )
                     err = exc
-                except Exception as exc:  # noqa: BLE001 — typed re-raise below
+                except Exception as exc:  # noqa: BLE001  # repro: allow[RPR008] typed re-raise below once retries exhaust
                     err = exc
                 attempt += 1
                 if attempt > retries:
@@ -340,7 +340,7 @@ def iter_tasks(
                     _backoff(backoff_s, attempt)
                     try:
                         future = pool.submit(call, submit_arg(i, attempt))
-                    except Exception:  # pool shut down between checks
+                    except Exception:  # pool shut down between checks  # repro: allow[RPR008] flips to serial fallback, not a swallow
                         broken = True
             yield emit(result, i)
             if progress:

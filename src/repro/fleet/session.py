@@ -37,8 +37,11 @@ from repro.core.thresholds import SafetyThresholds
 from repro.fleet.config import FleetConfig
 from repro.hw.usb_packet import CommandPacket, decode_command_packet, encode_command_packet
 
-#: Schema version of fleet session checkpoints.
-SESSION_SNAPSHOT_VERSION = 1
+#: Schema version of fleet session checkpoints.  v2 added
+#: ``frames_ingested``; v1 payloads still restore (the counter is
+#: reconstructed as ``frames_processed``, consistent with the cleared
+#: queue a resume starts from).
+SESSION_SNAPSHOT_VERSION = 2
 
 #: How many recent decision records a session retains for the
 #: quarantine flight dump (bounded — sessions are long-lived).
@@ -215,8 +218,8 @@ class FleetSession:
         self.frames_rejected = 0
         self.frames_processed = 0
         self.decisions = 0
-        self.checkpoint_version = 0
-        self.last_checkpoint_tick: Optional[int] = None
+        self.checkpoint_version = 0  # repro: allow[RPR006] store-managed, set by FleetSupervisor.checkpoint/resume
+        self.last_checkpoint_tick: Optional[int] = None  # repro: allow[RPR006] store-managed, set by FleetSupervisor.checkpoint/resume
         self.last_frame: Optional[TelemetryFrame] = None
         self.quarantined = False
         self.quarantine_reason: Optional[str] = None
@@ -300,6 +303,7 @@ class FleetSession:
             "supervisor": self.supervisor.snapshot(),
             "digest": self.digest,
             "decisions": self.decisions,
+            "frames_ingested": self.frames_ingested,
             "frames_processed": self.frames_processed,
             "frames_rejected": self.frames_rejected,
             "estop_latched": self.board.plc.estop_latched,
@@ -308,7 +312,7 @@ class FleetSession:
 
     def restore_payload(self, payload: Dict[str, Any]) -> None:
         """Resume from a checkpoint payload (inverse of the above)."""
-        if payload["version"] != SESSION_SNAPSHOT_VERSION:
+        if payload["version"] not in (1, SESSION_SNAPSHOT_VERSION):
             raise ValueError(
                 f"session snapshot version {payload['version']} != "
                 f"supported {SESSION_SNAPSHOT_VERSION}"
@@ -321,6 +325,11 @@ class FleetSession:
         self.supervisor.restore(payload["supervisor"])
         self.digest = payload["digest"]
         self.decisions = payload["decisions"]
+        # v1 checkpoints predate the ingest counter; a resume starts from
+        # an empty queue, so every ingested frame was a processed one.
+        self.frames_ingested = payload.get(
+            "frames_ingested", payload["frames_processed"]
+        )
         self.frames_processed = payload["frames_processed"]
         self.frames_rejected = payload["frames_rejected"]
         self.board.plc.estop_latched = payload["estop_latched"]
@@ -328,3 +337,9 @@ class FleetSession:
         self.queue.clear()
         self.pending.clear()
         self.recent.clear()
+        # Transient per-run state restarts clean: nothing below survives
+        # the process that wrote the checkpoint.
+        self.last_frame = None
+        self.quarantined = False
+        self.quarantine_reason = None
+        self.stalled_until_tick = -1

@@ -1,0 +1,49 @@
+"""Ingest-to-DAC call paths that dodge the detector gate (RPR005).
+
+``FeedRouter.ingest`` reaches ``Driver.emit``'s DAC sink through
+``Relay.forward`` without ever passing a gate, and ``GateKeeper.sloppy``
+latches *before* its guard call — the two shapes RPR005 reports.
+``GateKeeper.vet`` is the clean gate the fixture config points at.
+"""
+
+
+class Driver:
+    def __init__(self, board):
+        self.board = board
+
+    def emit(self, values):
+        self.board._latch(values)
+
+
+class Relay:
+    def __init__(self, driver: "Driver"):
+        self.driver = driver
+
+    def forward(self, values):
+        self.driver.emit(values)
+
+
+class GateKeeper:
+    def __init__(self, guard, driver: "Driver"):
+        self.guard = guard
+        self.driver = driver
+
+    def vet(self, values):
+        if self.guard(values):
+            self.driver.emit(values)
+
+    def sloppy(self, values):
+        self.driver.board._latch(values)
+        self.guard(values)
+
+
+class FeedRouter:
+    def __init__(self, relay: "Relay", keeper: "GateKeeper"):
+        self.relay = relay
+        self.keeper = keeper
+
+    def ingest(self, values):
+        self.relay.forward(values)
+
+    def gated_ingest(self, values):
+        self.keeper.vet(values)

@@ -1,0 +1,22 @@
+"""Snapshot/restore/reset families that leak mutable state (RPR006)."""
+
+
+class LeakySession:
+    """``dropped`` escapes both families; ``cursor`` escapes reset."""
+
+    def __init__(self, depth):
+        self.depth = depth
+        self.frames = 0
+        self.dropped = 0
+        self.cursor = 0
+        self._obs_hook = None
+
+    def snapshot(self):
+        return {"frames": self.frames, "cursor": self.cursor}
+
+    def restore(self, payload):
+        self.frames = payload["frames"]
+        self.cursor = payload["cursor"]
+
+    def reset(self):
+        self.frames = 0

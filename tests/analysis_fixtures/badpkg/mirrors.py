@@ -1,0 +1,36 @@
+"""Scalar/batched API drift (RPR007)."""
+
+
+class Sampler:
+    WINDOW = 8
+    GAIN = 1.5
+
+    def __init__(self):
+        self.total = 0
+
+    def sample(self, value):
+        self.total += value
+
+    def drain(self):
+        out, self.total = self.total, 0
+        return out
+
+    def snapshot(self):
+        return {"total": self.total}
+
+
+class BatchedSampler:
+    """Mirrors ``sample``, aliases ``snapshot`` as ``lane_state`` — but
+    misses ``drain`` and drifts ``WINDOW``."""
+
+    WINDOW = 16
+    GAIN = 1.5
+
+    def __init__(self, lanes):
+        self.totals = [0] * lanes
+
+    def sample(self, lane, value):
+        self.totals[lane] += value
+
+    def lane_state(self, lane):
+        return {"total": self.totals[lane]}

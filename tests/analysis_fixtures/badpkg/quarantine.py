@@ -1,0 +1,40 @@
+"""Lane faults swallowed without re-raise or quarantine (RPR008)."""
+
+
+class StoreError(Exception):
+    """Checkpoint store failure."""
+
+
+class FrameIntegrityError(StoreError):
+    """A frame failed its digest check."""
+
+
+class LaneRunner:
+    def __init__(self, lanes):
+        self.lanes = lanes
+        self.faults = []
+
+    def step_all(self):
+        for lane in self.lanes:
+            try:
+                lane.step()
+            except Exception:
+                pass
+
+    def verify(self, lane):
+        try:
+            return lane.digest()
+        except StoreError:
+            return None
+
+    def isolated(self, lane):
+        try:
+            lane.step()
+        except Exception as exc:
+            self.faults.append((lane, exc))
+
+    def reread(self, lane):
+        try:
+            return lane.digest()
+        except FrameIntegrityError:
+            raise

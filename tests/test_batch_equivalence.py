@@ -485,6 +485,134 @@ class TestLaneRemoval:
             estimator.remove_lanes([0, 1])
 
 
+class TestLaneCheckpointParity:
+    """Batched ``lane_state``/``load_lane_state``/``reset`` round-trip
+    with the scalar ``snapshot``/``restore``/``reset`` surface — the
+    parity contract RPR007 pins statically, executed."""
+
+    THRESHOLDS = SafetyThresholds(
+        motor_velocity=np.array([1.0, 1.0, 1.0]),
+        motor_acceleration=np.array([10.0, 10.0, 10.0]),
+        joint_velocity=np.array([1.0, 1.0, 1.0]),
+    )
+
+    @staticmethod
+    def scalar_estimate(scale: float) -> StateEstimate:
+        return StateEstimate(
+            motor_velocity=np.full(3, scale),
+            motor_acceleration=np.full(3, 10 * scale),
+            joint_velocity=np.full(3, scale),
+            jpos_next=np.zeros(3),
+            jvel_next=np.zeros(3),
+            elapsed_s=0.0,
+        )
+
+    @staticmethod
+    def batched_estimate(scales: np.ndarray) -> BatchedStateEstimate:
+        scales = np.asarray(scales, dtype=float)
+        return BatchedStateEstimate(
+            motor_velocity=np.tile(scales[:, None], 3),
+            motor_acceleration=np.tile(10 * scales[:, None], 3),
+            joint_velocity=np.tile(scales[:, None], 3),
+            jpos_next=np.zeros((len(scales), 3)),
+            jvel_next=np.zeros((len(scales), 3)),
+            elapsed_s=0.0,
+        )
+
+    def build_scalars(self, num: int):
+        return [
+            AnomalyDetector(self.THRESHOLDS, FusionRule.ANY, decision_window=(2, 3))
+            for _ in range(num)
+        ]
+
+    def drive(self, scalars, batched, schedule):
+        for scales in schedule:
+            for lane, scalar in enumerate(scalars):
+                scalar.evaluate(self.scalar_estimate(scales[lane]))
+            batched.evaluate(self.batched_estimate(np.array(scales)))
+
+    def test_detector_lane_state_matches_scalar_snapshot(self):
+        scalars = self.build_scalars(2)
+        batched = BatchedAnomalyDetector.from_detectors(self.build_scalars(2))
+        self.drive(scalars, batched, [(50.0, 0.0), (0.0, 50.0), (50.0, 50.0)])
+        for lane, scalar in enumerate(scalars):
+            assert batched.lane_state(lane) == scalar.snapshot()
+
+    def test_detector_lane_round_trip_both_directions(self):
+        scalars = self.build_scalars(2)
+        batched = BatchedAnomalyDetector.from_detectors(self.build_scalars(2))
+        # An asymmetric prefix so each lane's ring holds distinct bytes.
+        self.drive(scalars, batched, [(50.0, 0.0), (50.0, 50.0)])
+
+        # batched lane -> fresh scalar detector
+        restored_scalar = self.build_scalars(1)[0]
+        restored_scalar.restore(batched.lane_state(0))
+        # scalar snapshots -> fresh batched pack
+        restored_batched = BatchedAnomalyDetector.from_detectors(
+            self.build_scalars(2)
+        )
+        for lane, scalar in enumerate(scalars):
+            restored_batched.load_lane_state(lane, scalar.snapshot())
+
+        # All three continue in lockstep after the round-trip.
+        tail = [(0.0, 50.0), (50.0, 0.0), (50.0, 50.0)]
+        for scales in tail:
+            r_scalar0 = scalars[0].evaluate(self.scalar_estimate(scales[0]))
+            r_restored = restored_scalar.evaluate(
+                self.scalar_estimate(scales[0])
+            )
+            r_batched = restored_batched.evaluate(
+                self.batched_estimate(np.array(scales))
+            )
+            assert r_restored.alert == r_scalar0.alert
+            assert r_batched.alert[0] == r_scalar0.alert
+        assert restored_batched.lane_state(0) == scalars[0].snapshot()
+
+    def test_detector_window_mismatch_is_rejected(self):
+        batched = BatchedAnomalyDetector.from_detectors(self.build_scalars(2))
+        bad = batched.lane_state(0)
+        bad["debouncer"]["n"] = 4
+        with pytest.raises(ValueError, match="decision-window mismatch"):
+            batched.load_lane_state(0, bad)
+        windowless = BatchedAnomalyDetector([self.THRESHOLDS, self.THRESHOLDS])
+        with pytest.raises(ValueError, match="presence mismatch"):
+            windowless.load_lane_state(0, batched.lane_state(0))
+
+    def test_estimator_reset_matches_scalar(self):
+        errors = [1.0, 1.03]
+        scalars = [
+            NextStateEstimator(
+                RavenDynamicModel(integrator="euler", parameter_error=e)
+            )
+            for e in errors
+        ]
+        batched = BatchedNextStateEstimator(
+            [
+                RavenDynamicModel(integrator="euler", parameter_error=e)
+                for e in errors
+            ]
+        )
+        mpos = np.array([[0.001, 0.002, 0.003], [0.002, 0.001, 0.004]])
+        dac = np.array([[150.0, -30.0, 12.0]] * 2)
+        for lane, scalar in enumerate(scalars):
+            scalar.sync(mpos[lane])
+            scalar.sync(mpos[lane] + 0.0005)
+            scalar.estimate(dac[lane])
+            scalar.reset()
+        batched.sync(mpos)
+        batched.sync(mpos + 0.0005)
+        batched.estimate(dac)
+        batched.reset()
+        for lane, scalar in enumerate(scalars):
+            assert batched.lane_state(lane) == scalar.snapshot()
+        # A reset pack behaves like pristine scalar lanes from here on.
+        for lane, scalar in enumerate(scalars):
+            scalar.sync(mpos[lane])
+        batched.sync(mpos)
+        for lane, scalar in enumerate(scalars):
+            assert batched.lane_state(lane) == scalar.snapshot()
+
+
 class TestHarness:
     def test_report_formats_mismatches(self):
         """The report names the lane and field of every divergence."""

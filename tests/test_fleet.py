@@ -28,6 +28,7 @@ from repro.experiments.fleet import (
 )
 from repro.fleet import (
     FleetConfig,
+    FleetSession,
     FleetSupervisor,
     InMemorySessionStore,
     RetryingSessionStore,
@@ -370,6 +371,55 @@ class TestCheckpointResume:
         assert resumed.frames_processed == 10
         assert resumed.checkpoint_version == snap.version
         assert resumed.last_checkpoint_tick == 9
+
+    def test_resume_preserves_ingest_counter(self, store):
+        cfg = FleetConfig(checkpoint_every=1000)
+        fleet = FleetSupervisor(store=store, config=cfg)
+        fleet.register(spec("s"))
+        for tick in range(5):
+            fleet.ingest("s", frame_for(0, 0, tick))
+            fleet.tick(tick)
+        assert fleet.sessions["s"].frames_ingested == 5
+        fleet.checkpoint("s", 4)
+
+        other = FleetSupervisor(store=store, config=cfg)
+        resumed = other.resume(spec("s"))
+        assert resumed.frames_ingested == 5
+        assert resumed.frames_processed == 5
+
+    def test_v1_payload_restores_with_reconstructed_counter(self):
+        """Pre-``frames_ingested`` checkpoints (schema v1) still resume:
+        the counter is reconstructed as ``frames_processed`` because a
+        resume starts from an empty queue."""
+        cfg = FleetConfig()
+        fleet = FleetSupervisor(config=cfg)
+        session = fleet.register(spec("s"))
+        for tick in range(3):
+            fleet.ingest("s", nominal_frame(tick))
+            fleet.tick(tick)
+        v1 = session.snapshot_payload(2)
+        del v1["frames_ingested"]
+        v1["version"] = 1
+
+        fresh = FleetSession(spec("s"), cfg)
+        fresh.quarantined = True
+        fresh.quarantine_reason = "stale"
+        fresh.restore_payload(v1)
+        assert fresh.frames_ingested == 3
+        assert fresh.frames_processed == 3
+        assert fresh.digest == session.digest
+        # Transient per-run state restarts clean on restore.
+        assert not fresh.quarantined
+        assert fresh.quarantine_reason is None
+        assert fresh.last_frame is None
+
+    def test_unknown_snapshot_version_is_rejected(self):
+        cfg = FleetConfig()
+        session = FleetSession(spec("s"), cfg)
+        bad = session.snapshot_payload(0)
+        bad["version"] = 99
+        with pytest.raises(ValueError, match="snapshot version"):
+            session.restore_payload(bad)
 
 
 class TestSimBridge:
