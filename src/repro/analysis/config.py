@@ -63,6 +63,7 @@ class AnalysisConfig:
         "repro.experiments",
         "repro.obs",
         "repro.fleet",
+        "repro.service",
     )
     #: The only modules allowed to read ``os.environ`` raw.
     env_shim_modules: Tuple[str, ...] = ("repro.envcfg",)
@@ -176,6 +177,7 @@ class AnalysisConfig:
     quarantine_scope: Tuple[str, ...] = (
         "repro.fleet",
         "repro.experiments.parallel",
+        "repro.service",
     )
     #: Call-chain segments that count as routing a fault to quarantine.
     quarantine_sink_names: Tuple[str, ...] = (

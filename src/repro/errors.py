@@ -113,3 +113,21 @@ class SnapshotIntegrityError(SessionStoreError):
 class BackpressureError(FleetError):
     """An ingest queue rejected a frame because it is full (bounded queues
     shed load explicitly instead of silently dropping telemetry)."""
+
+
+class ServiceError(ReproError):
+    """Raised by the detection-as-a-service layer (workers, frontend)."""
+
+
+class ProtocolError(ServiceError):
+    """A wire message violated the service protocol (bad framing, bad
+    JSON, unsupported version, or a malformed/oversized payload)."""
+
+
+class WorkerUnavailableError(ServiceError):
+    """A service worker could not be reached (connection refused, reset,
+    or EOF mid-conversation) — the trigger for session re-homing."""
+
+    def __init__(self, worker: str, detail: str) -> None:
+        super().__init__(f"worker {worker!r} unavailable: {detail}")
+        self.worker = worker

@@ -588,6 +588,40 @@ class FleetSupervisor:
             else:
                 report.checkpointed.append(session.session_id)
 
+    def drain(self, tick: Optional[int] = None) -> List[str]:
+        """Checkpoint every live session, now (clean-shutdown flush).
+
+        Cadence-based checkpointing (:meth:`_checkpoint_due`) can leave up
+        to ``checkpoint_every`` ticks of decisions unpersisted, so a clean
+        SIGTERM that only relied on it would still lose frames.  Shutdown
+        paths (service workers, campaign teardown) call this to flush every
+        active session at ``tick`` (default: the last completed tick).
+
+        Sessions already checkpointed at that exact tick are skipped (their
+        stored state is current); a session whose store write fails is
+        quarantined — consistent with the cadence path — and the remaining
+        sessions still drain.  Returns the drained session ids in
+        registration order.
+        """
+        if tick is None:
+            tick = max(0, self.tick_count - 1)
+        drained: List[str] = []
+        for session in self.active:
+            if session.last_checkpoint_tick == tick:
+                drained.append(session.session_id)
+                continue
+            try:
+                self.checkpoint(session.session_id, tick)
+            except SessionStoreError as exc:
+                self._quarantine(
+                    [session.session_id], f"drain checkpoint failed: {exc}",
+                    tick=tick,
+                )
+            else:
+                drained.append(session.session_id)
+        self._obs.log_event("fleet_drain", tick=tick, sessions=drained)
+        return drained
+
     def checkpoint(self, session_id: str, tick: int) -> SessionSnapshot:
         """Write one session's current state to the store, now."""
         session = self.sessions[session_id]

@@ -254,17 +254,25 @@ class MetricsRegistry:
     def __len__(self) -> int:
         return len(self._metrics)
 
-    def snapshot(self) -> Dict[str, dict]:
-        """All metrics as JSON-native summaries, name-sorted."""
+    def snapshot(self, prefix: str = "") -> Dict[str, dict]:
+        """Metrics as JSON-native summaries, name-sorted.
+
+        ``prefix`` restricts the export to metric names starting with it —
+        the per-tenant seam the service scrape endpoint uses (e.g.
+        ``prefix="repro_svc_decisions_total_rig_001"``).
+        """
         return {
             name: self._metrics[name].summary()
             for name in sorted(self._metrics)
+            if name.startswith(prefix)
         }
 
-    def to_prometheus(self) -> str:
-        """Prometheus text exposition of every registered metric."""
+    def to_prometheus(self, prefix: str = "") -> str:
+        """Prometheus text exposition, optionally filtered by ``prefix``."""
         lines: List[str] = []
         for name in sorted(self._metrics):
+            if prefix and not name.startswith(prefix):
+                continue
             metric = self._metrics[name]
             safe = _prom_name(name)
             if metric.help:
@@ -308,10 +316,10 @@ class NullRegistry(MetricsRegistry):
     ) -> Histogram:
         return self._HISTOGRAM
 
-    def snapshot(self) -> Dict[str, dict]:
+    def snapshot(self, prefix: str = "") -> Dict[str, dict]:
         return {}
 
-    def to_prometheus(self) -> str:
+    def to_prometheus(self, prefix: str = "") -> str:
         return ""
 
 

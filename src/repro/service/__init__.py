@@ -1,0 +1,73 @@
+"""Detection as a service: the network skin over the fleet supervisor.
+
+The :mod:`repro.service` package puts the paper's dynamic-model detector
+where deployments need it — between the teleoperation network and the
+robot — as a horizontally sharded service over :mod:`repro.fleet`:
+
+- **wire protocol** (:mod:`repro.service.protocol`) — length-prefixed,
+  versioned canonical-JSON framing for :class:`~repro.fleet.TelemetryFrame`
+  ingest and decision/health responses; canonical encoding keeps
+  over-the-wire decision hash chains bit-identical to in-process runs;
+- **workers** (:mod:`repro.service.worker`) — one
+  :class:`~repro.fleet.FleetSupervisor` per process behind an asyncio
+  stream server, with bounded queues, backpressure, staleness E-STOP and
+  checkpoint-on-drain SIGTERM shutdown;
+- **frontend** (:mod:`repro.service.frontend`) — a stateless
+  orchestrator that rendezvous-hashes session ids across the worker
+  pool; session state lives in the shared
+  :class:`~repro.fleet.SqliteSessionStore`, so a worker SIGKILL re-homes
+  its sessions onto survivors, resuming each decision chain from its
+  newest verifiable checkpoint;
+- **HTTP surface** (:mod:`repro.service.http`) — ``/healthz``, per-tenant
+  decision counters (``/tenants``) and a Prometheus scrape endpoint fed
+  from :mod:`repro.obs`;
+- **client + CLI** (:mod:`repro.service.client`,
+  ``python -m repro.service``) — an async client and serve/ingest/scrape
+  commands.
+
+Configuration comes from ``REPRO_SVC_*`` environment variables via
+:class:`ServiceConfig`.  Everything is stdlib (asyncio) — no new
+runtime dependencies.
+"""
+
+from repro.service.client import RemoteOpError, ServiceClient
+from repro.service.config import ServiceConfig
+from repro.service.frontend import (
+    ServiceFrontend,
+    TickOutcome,
+    connect_frontend,
+    shard_for,
+)
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    encode_message,
+    frame_from_wire,
+    frame_to_wire,
+    read_message,
+    spec_from_wire,
+    spec_to_wire,
+    write_message,
+)
+from repro.service.spawn import WorkerProcess, spawn_pool
+from repro.service.worker import ServiceWorker
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "RemoteOpError",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceFrontend",
+    "ServiceWorker",
+    "TickOutcome",
+    "WorkerProcess",
+    "connect_frontend",
+    "encode_message",
+    "frame_from_wire",
+    "frame_to_wire",
+    "read_message",
+    "shard_for",
+    "spawn_pool",
+    "spec_from_wire",
+    "spec_to_wire",
+    "write_message",
+]

@@ -1,0 +1,185 @@
+"""``python -m repro.service`` — worker / serve / ingest / scrape CLI.
+
+``worker``
+    Host one fleet supervisor behind the RPC + HTTP ports and announce
+    ``LISTENING <host> <rpc_port> <http_port>`` on stdout (the line
+    :class:`repro.service.spawn.WorkerProcess` waits for).  SIGTERM
+    checkpoints every live session before exit.
+
+``serve``
+    Spawn a worker pool sharing one sqlite store and print the
+    placement table; Ctrl-C drains and stops the pool.
+
+``ingest``
+    Drive a deterministic fleet campaign through a freshly spawned pool
+    (the over-the-wire twin of ``python -m repro.experiments fleet``),
+    optionally SIGKILLing one worker mid-campaign.
+
+``scrape``
+    Fetch a worker's ``/healthz``, ``/tenants``, or ``/metrics``
+    endpoint and print the body.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+from dataclasses import replace
+from typing import List, Optional
+from urllib.request import urlopen
+
+from repro.fleet.config import FleetConfig
+from repro.fleet.store import SqliteSessionStore
+from repro.service.config import ServiceConfig
+from repro.service.http import http_port, start_http_server
+from repro.service.spawn import spawn_pool
+from repro.service.worker import ServiceWorker
+
+
+async def _worker_main(
+    name: str,
+    config: ServiceConfig,
+    fleet_config: Optional[FleetConfig],
+) -> None:
+    store = SqliteSessionStore(config.store_path)
+    worker = ServiceWorker(
+        name, store, config=config, fleet_config=fleet_config
+    )
+    await worker.start()
+    http_server = await start_http_server(
+        worker, config.host, config.http_port
+    )
+    worker.install_signal_handlers()
+    print(
+        f"LISTENING {config.host} {worker.port} {http_port(http_server)}",
+        flush=True,
+    )
+    drained = await worker.serve_until_stopped()
+    http_server.close()
+    await http_server.wait_closed()
+    print(f"DRAINED {len(drained)} sessions", flush=True)
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    config = replace(
+        ServiceConfig.from_env(),
+        host=args.host,
+        port=args.port,
+        http_port=args.http_port,
+        store_path=args.store,
+        **(
+            {"max_frame_bytes": args.max_frame_bytes}
+            if args.max_frame_bytes is not None
+            else {}
+        ),
+    )
+    fleet_config = (
+        FleetConfig(**json.loads(args.fleet)) if args.fleet else None
+    )
+    asyncio.run(_worker_main(args.name, config, fleet_config))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    pool = spawn_pool(args.workers, args.store)
+    print(f"{'worker':<8} {'rpc':<22} http")
+    for proc in pool:
+        print(
+            f"{proc.name:<8} {proc.host}:{proc.port:<16} "
+            f"http://{proc.host}:{proc.http_port}"
+        )
+    print("serving; Ctrl-C drains and stops the pool", flush=True)
+    try:
+        for proc in pool:
+            proc.wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        for proc in pool:
+            proc.stop(timeout=10.0)
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.experiments.service import (
+        format_service_results,
+        run_service_campaign,
+    )
+
+    kill = (args.kill_at, args.kill_worker) if args.kill_at is not None else None
+    result = run_service_campaign(
+        store_path=args.store,
+        num_sessions=args.sessions,
+        ticks=args.ticks,
+        seed=args.seed,
+        workers=args.workers,
+        kill_worker=kill,
+    )
+    print(format_service_results(result))
+    return 0
+
+
+def _cmd_scrape(args: argparse.Namespace) -> int:
+    url = args.url
+    if args.prefix:
+        sep = "&" if "?" in url else "?"
+        url = f"{url}{sep}prefix={args.prefix}"
+    with urlopen(url, timeout=10.0) as response:
+        print(response.read().decode("utf-8"), end="")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="detection-as-a-service workers, pool, and tooling",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    env_defaults = ServiceConfig.from_env()
+
+    worker = sub.add_parser("worker", help="run one service worker")
+    worker.add_argument("--name", default="worker")
+    worker.add_argument("--host", default="127.0.0.1")
+    worker.add_argument("--port", type=int, default=0)
+    worker.add_argument("--http-port", type=int, default=0)
+    worker.add_argument("--store", required=True, help="sqlite store path")
+    worker.add_argument(
+        "--fleet", default="", help="FleetConfig overrides as JSON"
+    )
+    worker.add_argument("--max-frame-bytes", type=int, default=None)
+    worker.set_defaults(func=_cmd_worker)
+
+    serve = sub.add_parser("serve", help="spawn a worker pool")
+    serve.add_argument("--workers", type=int, default=env_defaults.workers)
+    serve.add_argument("--store", required=True, help="sqlite store path")
+    serve.set_defaults(func=_cmd_serve)
+
+    ingest = sub.add_parser(
+        "ingest", help="replay a fleet campaign over the wire"
+    )
+    ingest.add_argument("--store", required=True, help="sqlite store path")
+    ingest.add_argument("--sessions", type=int, default=4)
+    ingest.add_argument("--ticks", type=int, default=64)
+    ingest.add_argument("--seed", type=int, default=0)
+    ingest.add_argument("--workers", type=int, default=env_defaults.workers)
+    ingest.add_argument(
+        "--kill-at", type=int, default=None,
+        help="SIGKILL a worker after this tick round",
+    )
+    ingest.add_argument(
+        "--kill-worker", default="w0", help="which worker to kill"
+    )
+    ingest.set_defaults(func=_cmd_ingest)
+
+    scrape = sub.add_parser("scrape", help="fetch a worker HTTP endpoint")
+    scrape.add_argument("url", help="e.g. http://127.0.0.1:8080/metrics")
+    scrape.add_argument("--prefix", default="", help="metric name prefix")
+    scrape.set_defaults(func=_cmd_scrape)
+
+    args = parser.parse_args(argv)
+    return int(args.func(args))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

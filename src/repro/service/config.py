@@ -1,0 +1,86 @@
+"""Service-layer tuning, resolved through :mod:`repro.envcfg`.
+
+Every knob has a ``REPRO_SVC_*`` environment variable (the service's
+whole env surface, greppable here and documented in the README):
+
+======================================  =======================================
+``REPRO_SVC_HOST``                      bind address for worker RPC/HTTP
+``REPRO_SVC_PORT``                      worker RPC port (0 = ephemeral)
+``REPRO_SVC_HTTP_PORT``                 worker HTTP port (0 = ephemeral)
+``REPRO_SVC_WORKERS``                   worker processes under ``serve``
+``REPRO_SVC_MAX_FRAME_BYTES``           wire-message payload size cap
+``REPRO_SVC_STORE``                     shared sqlite session-store path
+``REPRO_SVC_DRAIN_TIMEOUT_S``           wait for a SIGTERM'd worker to drain
+======================================  =======================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.envcfg import env_float, env_int, env_str
+
+ENV_HOST = "REPRO_SVC_HOST"
+ENV_PORT = "REPRO_SVC_PORT"
+ENV_HTTP_PORT = "REPRO_SVC_HTTP_PORT"
+ENV_WORKERS = "REPRO_SVC_WORKERS"
+ENV_MAX_FRAME_BYTES = "REPRO_SVC_MAX_FRAME_BYTES"
+ENV_STORE = "REPRO_SVC_STORE"
+ENV_DRAIN_TIMEOUT_S = "REPRO_SVC_DRAIN_TIMEOUT_S"
+
+#: Default cap on one wire message's payload (canonical JSON bytes).
+#: Telemetry frames are a few hundred bytes; anything near the cap is a
+#: malformed or hostile peer, not a big frame.
+DEFAULT_MAX_FRAME_BYTES = 262_144
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning of the detection service (frontend + workers).
+
+    ``max_frame_bytes`` bounds every wire message — a length prefix
+    above it is rejected before any allocation, so a hostile or broken
+    peer cannot balloon a worker.  ``drain_timeout_s`` is how long the
+    orchestrator waits for a SIGTERM'd worker to finish its
+    checkpoint-on-drain shutdown before escalating to SIGKILL.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    http_port: int = 0
+    workers: int = 2
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+    store_path: str = "service_sessions.sqlite"
+    drain_timeout_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.max_frame_bytes < 64:
+            raise ValueError("max_frame_bytes must be >= 64")
+        if self.drain_timeout_s <= 0:
+            raise ValueError("drain_timeout_s must be positive")
+
+    @classmethod
+    def from_env(cls) -> "ServiceConfig":
+        """A config with any set ``REPRO_SVC_*`` overrides applied."""
+        defaults = cls()
+
+        def pick_int(name: str, default: int) -> int:
+            value = env_int(name)
+            return default if value is None else value
+
+        drain = env_float(ENV_DRAIN_TIMEOUT_S)
+        return cls(
+            host=env_str(ENV_HOST) or defaults.host,
+            port=pick_int(ENV_PORT, defaults.port),
+            http_port=pick_int(ENV_HTTP_PORT, defaults.http_port),
+            workers=pick_int(ENV_WORKERS, defaults.workers),
+            max_frame_bytes=pick_int(
+                ENV_MAX_FRAME_BYTES, defaults.max_frame_bytes
+            ),
+            store_path=env_str(ENV_STORE) or defaults.store_path,
+            drain_timeout_s=(
+                defaults.drain_timeout_s if drain is None else drain
+            ),
+        )

@@ -1,0 +1,122 @@
+"""Stdlib HTTP/1.1 surface for one service worker.
+
+Three read-only endpoints, served off the worker's event loop:
+
+- ``GET /healthz`` — JSON liveness (status, sessions, quarantines,
+  tick count, fault-journal length);
+- ``GET /tenants`` — JSON per-tenant decision counters (decisions,
+  frames, health, chain digest per session) — available with
+  observability disabled;
+- ``GET /metrics`` — Prometheus text exposition of the process
+  :class:`repro.obs.MetricsRegistry` (empty when ``REPRO_OBS`` is off);
+  ``?prefix=repro_svc_`` narrows the scrape to one metric family or one
+  tenant's counters.
+
+Hand-rolled on ``asyncio`` streams because a scrape endpoint does not
+justify a web framework — and no new dependencies is a design rule of
+this repository.  Requests beyond a small size cap, non-GET methods, and
+unknown paths are rejected without touching the supervisor.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import TYPE_CHECKING, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+if TYPE_CHECKING:
+    from repro.service.worker import ServiceWorker
+
+#: A request line + headers larger than this is hostile, not a scrape.
+MAX_REQUEST_BYTES = 8192
+
+_STATUS_TEXT = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                405: "Method Not Allowed"}
+
+
+def _response(status: int, content_type: str, body: str) -> bytes:
+    payload = body.encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Error')}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode("ascii") + payload
+
+
+def _json_response(status: int, payload: object) -> bytes:
+    return _response(
+        status, "application/json", json.dumps(payload, sort_keys=True)
+    )
+
+
+def render(worker: "ServiceWorker", method: str, target: str) -> bytes:
+    """The response bytes for one request line (pure, testable)."""
+    if method != "GET":
+        return _json_response(405, {"error": f"method {method} not allowed"})
+    parts = urlsplit(target)
+    if parts.path == "/healthz":
+        return _json_response(200, worker.health_payload())
+    if parts.path == "/tenants":
+        return _json_response(200, worker.tenants_payload())
+    if parts.path == "/metrics":
+        prefixes = parse_qs(parts.query).get("prefix", [""])
+        body = worker.registry_text(prefixes[0])
+        return _response(200, "text/plain; version=0.0.4", body)
+    return _json_response(404, {"error": f"no route for {parts.path}"})
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Tuple[str, str]:
+    """The (method, target) of one HTTP request; drains its headers."""
+    line = await reader.readline()
+    if not line or len(line) > MAX_REQUEST_BYTES:
+        raise ValueError("bad request line")
+    parts = line.decode("latin-1").split()
+    if len(parts) != 3:
+        raise ValueError("malformed request line")
+    total = len(line)
+    while True:
+        header = await reader.readline()
+        total += len(header)
+        if total > MAX_REQUEST_BYTES:
+            raise ValueError("headers too large")
+        if header in (b"\r\n", b"\n", b""):
+            break
+    return parts[0], parts[1]
+
+
+async def start_http_server(
+    worker: "ServiceWorker", host: str, port: int
+) -> asyncio.AbstractServer:
+    """Serve the worker's HTTP surface; returns the bound server."""
+
+    async def handle(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, target = await _read_request(reader)
+            except ValueError as exc:
+                writer.write(_json_response(400, {"error": str(exc)}))
+            else:
+                writer.write(render(worker, method, target))
+            await writer.drain()
+        except (ConnectionError, OSError) as exc:
+            worker.faults.append(f"http connection dropped: {exc!r}")
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass  # peer already gone
+
+    return await asyncio.start_server(handle, host=host, port=port)
+
+
+def http_port(server: asyncio.AbstractServer) -> int:
+    return int(server.sockets[0].getsockname()[1])

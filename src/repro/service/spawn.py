@@ -1,0 +1,161 @@
+"""Worker process management for the service pool.
+
+:class:`WorkerProcess` launches ``python -m repro.service worker`` as a
+child process, waits for its ``LISTENING <host> <rpc_port> <http_port>``
+announcement on stdout, and exposes the three lifecycle verbs the chaos
+and shutdown paths need: ``kill`` (SIGKILL — the crash the re-homing
+protocol recovers from), ``terminate`` (SIGTERM — triggers the worker's
+checkpoint-on-drain shutdown), and ``wait``.
+
+The child inherits the parent environment untouched (``PYTHONPATH``,
+``REPRO_OBS``, ``REPRO_FLEET_*`` knobs all pass through); fleet tuning
+that must differ from the environment travels as an explicit ``--fleet``
+JSON argument, never via ambient state.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from dataclasses import asdict
+from typing import List, Optional
+
+from repro.errors import ServiceError
+from repro.fleet.config import FleetConfig
+
+
+class WorkerProcess:
+    """One spawned service-worker child process."""
+
+    def __init__(
+        self,
+        name: str,
+        store_path: str,
+        host: str = "127.0.0.1",
+        fleet_config: Optional[FleetConfig] = None,
+        max_frame_bytes: Optional[int] = None,
+    ) -> None:
+        self.name = name
+        self.store_path = store_path
+        self.host = host
+        self.fleet_config = fleet_config
+        self.max_frame_bytes = max_frame_bytes
+        self.process: Optional[subprocess.Popen] = None
+        self.port: Optional[int] = None
+        self.http_port: Optional[int] = None
+
+    def command(self) -> List[str]:
+        argv = [
+            sys.executable,
+            "-m",
+            "repro.service",
+            "worker",
+            "--name",
+            self.name,
+            "--host",
+            self.host,
+            "--port",
+            "0",
+            "--http-port",
+            "0",
+            "--store",
+            self.store_path,
+        ]
+        if self.fleet_config is not None:
+            argv += ["--fleet", json.dumps(asdict(self.fleet_config))]
+        if self.max_frame_bytes is not None:
+            argv += ["--max-frame-bytes", str(self.max_frame_bytes)]
+        return argv
+
+    def start(self) -> "WorkerProcess":
+        """Spawn the child and block until it announces its ports."""
+        self.process = subprocess.Popen(
+            self.command(),
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        assert self.process.stdout is not None
+        while True:
+            line = self.process.stdout.readline()
+            if not line:
+                code = self.process.wait()
+                raise ServiceError(
+                    f"worker {self.name!r} exited (rc={code}) before "
+                    "announcing its ports"
+                )
+            parts = line.split()
+            if len(parts) == 4 and parts[0] == "LISTENING":
+                self.host = parts[1]
+                self.port = int(parts[2])
+                self.http_port = int(parts[3])
+                return self
+
+    @property
+    def address(self) -> "tuple[str, int]":
+        if self.port is None:
+            raise ServiceError(f"worker {self.name!r} not started")
+        return (self.host, self.port)
+
+    def alive(self) -> bool:
+        return self.process is not None and self.process.poll() is None
+
+    def kill(self) -> None:
+        """SIGKILL — the crash the session re-homing protocol recovers."""
+        if self.process is not None:
+            self.process.kill()
+
+    def terminate(self) -> None:
+        """SIGTERM — the worker drains (checkpoints all sessions) first."""
+        if self.process is not None:
+            self.process.terminate()
+
+    def wait(self, timeout: Optional[float] = None) -> Optional[int]:
+        if self.process is None:
+            return None
+        code = self.process.wait(timeout=timeout)
+        if self.process.stdout is not None:
+            self.process.stdout.close()
+        return code
+
+    def stop(self, timeout: float = 10.0) -> Optional[int]:
+        """Graceful stop: SIGTERM (drain), escalate to SIGKILL on timeout."""
+        if self.process is None:
+            return None
+        if self.process.poll() is None:
+            self.process.terminate()
+            try:
+                return self.wait(timeout)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+        return self.wait(timeout)
+
+
+def spawn_pool(
+    count: int,
+    store_path: str,
+    host: str = "127.0.0.1",
+    fleet_config: Optional[FleetConfig] = None,
+    max_frame_bytes: Optional[int] = None,
+) -> List[WorkerProcess]:
+    """``count`` started workers sharing one session store."""
+    pool = [
+        WorkerProcess(
+            f"w{i}",
+            store_path,
+            host=host,
+            fleet_config=fleet_config,
+            max_frame_bytes=max_frame_bytes,
+        )
+        for i in range(count)
+    ]
+    started: List[WorkerProcess] = []
+    try:
+        for worker in pool:
+            started.append(worker.start())
+    except ServiceError:
+        for worker in started:
+            worker.kill()
+            worker.wait(timeout=5.0)
+        raise
+    return pool

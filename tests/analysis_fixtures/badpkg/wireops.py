@@ -1,0 +1,40 @@
+"""Service-boundary faults swallowed without journal or re-raise (RPR008)."""
+
+
+class WireError(Exception):
+    """Protocol breach on a connection."""
+
+
+class FrameCorruptionError(WireError):
+    """A framed message failed its integrity check."""
+
+
+class ConnectionLoop:
+    def __init__(self, connections):
+        self.connections = connections
+        self.faults = []
+
+    def pump_all(self):
+        for conn in self.connections:
+            try:
+                conn.pump()
+            except Exception:
+                pass
+
+    def decode(self, conn):
+        try:
+            return conn.read_frame()
+        except WireError:
+            return None
+
+    def dispatch(self, conn):
+        try:
+            return conn.handle()
+        except Exception as exc:
+            self.faults.append((conn, exc))
+
+    def reframe(self, conn):
+        try:
+            return conn.read_frame()
+        except FrameCorruptionError:
+            raise

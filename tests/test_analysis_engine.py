@@ -386,9 +386,19 @@ def test_batch_modules_are_in_the_deterministic_scope():
         "repro.fleet.supervisor",
         "repro.fleet.store",
         "repro.fleet.session",
+        "repro.service",
+        "repro.service.protocol",
+        "repro.service.worker",
+        "repro.service.frontend",
     ):
         assert module_matches(module, DEFAULT_CONFIG.deterministic_packages), (
             f"{module} must stay under RPR002's deterministic scope"
+        )
+    # The service boundary also carries the fleet's quarantine
+    # discipline: swallowed connection faults are RPR008 findings.
+    for module in ("repro.service", "repro.service.worker"):
+        assert module_matches(module, DEFAULT_CONFIG.quarantine_scope), (
+            f"{module} must stay under RPR008's quarantine scope"
         )
 
 

@@ -43,8 +43,11 @@ GRAPH_CONFIG = dataclasses.replace(
         "tests.analysis_fixtures.badpkg.mirrors",
         "tests.analysis_fixtures.goodpkg",
     ),
-    quarantine_scope=("tests.analysis_fixtures.badpkg.quarantine",),
-    integrity_error_names=("FrameIntegrityError",),
+    quarantine_scope=(
+        "tests.analysis_fixtures.badpkg.quarantine",
+        "tests.analysis_fixtures.badpkg.wireops",
+    ),
+    integrity_error_names=("FrameIntegrityError", "FrameCorruptionError"),
     integrity_fallback_modules=(),
 )
 
@@ -120,6 +123,22 @@ def test_rpr008_quarantine_fixture():
     assert "swallows integrity error 'StoreError'" in integrity.message
     # isolated() routes to self.faults (a quarantine sink) and reread()
     # re-raises — neither is reported.
+
+
+def test_rpr008_wireops_fixture():
+    """The service-boundary shape: connection handlers must journal or
+    re-raise, exactly like the lane handlers (``repro.service.worker``
+    is held to this in-tree)."""
+    result = run_graph("badpkg/wireops.py")
+    assert rule_lines(result.findings) == [
+        ("RPR008", 21),  # broad except: pass inside the connection loop
+        ("RPR008", 27),  # WireError (ancestor of the corruption error)
+    ]
+    broad, integrity = result.findings
+    assert "swallows lane-path exceptions" in broad.message
+    assert "swallows integrity error 'WireError'" in integrity.message
+    # dispatch() routes to self.faults (the worker fault journal — a
+    # quarantine sink) and reframe() re-raises — neither is reported.
 
 
 def test_goodpkg_guarded_is_clean():

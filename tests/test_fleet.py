@@ -422,6 +422,78 @@ class TestCheckpointResume:
             session.restore_payload(bad)
 
 
+class TestDrain:
+    def test_drain_checkpoints_every_live_session(self, store):
+        # Cadence far beyond the run: nothing persists except tick 0.
+        cfg = FleetConfig(checkpoint_every=1000)
+        fleet = FleetSupervisor(store=store, config=cfg)
+        for i in range(3):
+            fleet.register(spec(session_id(i)))
+        for tick in range(12):
+            for i in range(3):
+                fleet.ingest(session_id(i), frame_for(4, i, tick))
+            fleet.tick(tick)
+        digests = {sid: fleet.sessions[sid].digest for sid in fleet.sessions}
+
+        drained = fleet.drain()
+        assert drained == [session_id(i) for i in range(3)]
+
+        # A fresh supervisor resumes every session from the drained state,
+        # bit-identically — nothing past the last cadence point was lost.
+        other = FleetSupervisor(store=store, config=cfg)
+        for i in range(3):
+            resumed = other.resume(spec(session_id(i)))
+            assert resumed.digest == digests[session_id(i)]
+            assert resumed.frames_processed == 12
+            assert resumed.last_checkpoint_tick == 11
+
+    def test_drain_skips_sessions_already_current(self, store):
+        fleet = FleetSupervisor(store=store, config=FleetConfig(checkpoint_every=1000))
+        fleet.register(spec("s"))
+        for tick in range(5):
+            fleet.ingest("s", nominal_frame(tick))
+            fleet.tick(tick)
+        fleet.checkpoint("s", 4)
+        version = fleet.sessions["s"].checkpoint_version
+
+        # Already checkpointed at the last completed tick: drain reports
+        # it as drained but writes no redundant snapshot.
+        assert fleet.drain() == ["s"]
+        assert fleet.sessions["s"].checkpoint_version == version
+
+    def test_drain_store_failure_quarantines_not_fatal(self):
+        flaky = _FlakyStore(failures=0)
+        fleet = FleetSupervisor(
+            store=flaky,
+            config=FleetConfig(
+                checkpoint_every=1000, store_retries=0, store_backoff_s=0.0
+            ),
+        )
+        fleet.register(spec("a"))
+        fleet.register(spec("b"))
+        for tick in range(3):
+            fleet.ingest("a", nominal_frame(tick))
+            fleet.ingest("b", nominal_frame(tick))
+            fleet.tick(tick)
+        # The next save (session "a", registration order) blows up;
+        # "b" must still flush.
+        flaky.failures = flaky.attempts + 1
+        drained = fleet.drain()
+        assert drained == ["b"]
+        assert fleet.sessions["a"].quarantined
+        assert "drain checkpoint failed" in fleet.sessions["a"].quarantine_reason
+
+    def test_drain_excludes_quarantined_sessions(self, store):
+        fleet = FleetSupervisor(store=store, config=FleetConfig())
+        fleet.register(spec("a"))
+        fleet.register(spec("b"))
+        fleet.ingest("a", nominal_frame(0))
+        fleet.ingest("b", nominal_frame(0))
+        fleet.tick(0)
+        fleet.quarantine("a", "pulled")
+        assert fleet.drain() == ["b"]
+
+
 class TestSimBridge:
     @pytest.mark.slow
     def test_recorded_trace_feeds_a_fleet_session(self):

@@ -138,6 +138,26 @@ class TestRegistry:
         assert snap["g"]["value"] == 1.25
         assert snap["h"]["count"] == 1
 
+    def test_prefix_narrows_exports(self):
+        """The service ``/metrics?prefix=`` scrape path: one metric
+        family (or one tenant's counters) without the rest."""
+        reg = MetricsRegistry()
+        reg.counter("repro_svc_decisions_total_rig_000").inc(4)
+        reg.counter("repro_svc_decisions_total_rig_001").inc(2)
+        reg.gauge("repro_fleet_sessions").set(2)
+        narrowed = reg.snapshot(prefix="repro_svc_")
+        assert sorted(narrowed) == [
+            "repro_svc_decisions_total_rig_000",
+            "repro_svc_decisions_total_rig_001",
+        ]
+        text = reg.to_prometheus("repro_svc_decisions_total_rig_000")
+        assert "repro_svc_decisions_total_rig_000 4.0" in text
+        assert "rig_001" not in text
+        assert "repro_fleet_sessions" not in text
+        # Empty prefix stays the full export.
+        assert "repro_fleet_sessions" in reg.to_prometheus()
+        assert reg.to_prometheus("no_such_family") == ""
+
 
 class TestNullObjects:
     def test_null_registry_hands_out_shared_noops(self):
